@@ -1,0 +1,290 @@
+// Command figures regenerates every figure of the PISA paper as text
+// output: Gantt charts for the worked examples (Figs 1, 3, 5, 6), the
+// benchmarking grid (Fig 2), the pairwise PISA heatmap (Fig 4), the
+// family studies (Figs 7, 8), the workflow structures (Fig 9), and the
+// application-specific benchmarking+PISA grids (Figs 10-19).
+//
+// Usage:
+//
+//	figures [flags] <fig1|fig2|...|fig19|appspecific|all>
+//
+// Defaults are scaled down to finish in seconds; raise -n, -iters and
+// -restarts to the paper's scale (-n 1000 -iters 1000 -restarts 5) for a
+// full reproduction.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"saga/internal/core"
+	"saga/internal/datasets"
+	"saga/internal/experiments"
+	"saga/internal/graph"
+	"saga/internal/render"
+	"saga/internal/rng"
+	"saga/internal/scheduler"
+	"saga/internal/schedulers"
+)
+
+var (
+	flagN        = flag.Int("n", 20, "instances per dataset / family samples")
+	flagSeed     = flag.Uint64("seed", 1, "root random seed")
+	flagIters    = flag.Int("iters", 250, "PISA iterations per restart (paper: 1000)")
+	flagRestarts = flag.Int("restarts", 3, "PISA restarts per pair (paper: 5)")
+	flagWorkflow = flag.String("workflow", "srasearch", "workflow for the appspecific command")
+	flagCCR      = flag.Float64("ccr", 0, "single CCR for appspecific (0 = all five levels)")
+	flagWorkers  = flag.Int("workers", 0, "parallel workers for fig2/fig4 (0 = GOMAXPROCS, 1 = sequential)")
+	flagSVGDir   = flag.String("svgdir", "", "also write SVG renderings of grids and Gantt charts here")
+)
+
+// writeSVG writes an SVG artifact when -svgdir is set.
+func writeSVG(name, content string) error {
+	if *flagSVGDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(*flagSVGDir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(*flagSVGDir, name), []byte(content), 0o644)
+}
+
+func main() {
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: figures [flags] <fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10...fig19|appspecific|all>")
+		os.Exit(2)
+	}
+	for _, cmd := range flag.Args() {
+		if err := run(cmd); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", cmd, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// appendixWorkflows maps figure ids to Section VII / Appendix A
+// workflows.
+var appendixWorkflows = map[string]string{
+	"fig10": "srasearch",
+	"fig11": "blast",
+	"fig12": "blast",
+	"fig13": "srasearch",
+	"fig14": "bwa",
+	"fig15": "epigenomics",
+	"fig16": "genome",
+	"fig17": "montage",
+	"fig18": "seismology",
+	"fig19": "soykb",
+}
+
+func run(cmd string) error {
+	switch cmd {
+	case "fig1":
+		return fig1()
+	case "fig2":
+		return fig2()
+	case "fig3":
+		return fig3()
+	case "fig4":
+		return fig4()
+	case "fig5", "fig6":
+		return caseStudy(cmd)
+	case "fig7":
+		return family("fig7 (fork-join family: HEFT loses to CPoP)", datasets.Fig7Instance)
+	case "fig8":
+		return family("fig8 (wide-fork family: CPoP loses to HEFT)", datasets.Fig8Instance)
+	case "fig9":
+		return fig9()
+	case "appspecific":
+		return appSpecific(*flagWorkflow)
+	case "all":
+		for _, c := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"} {
+			if err := run(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if wf, ok := appendixWorkflows[cmd]; ok {
+		return appSpecific(wf)
+	}
+	return fmt.Errorf("unknown figure %q", cmd)
+}
+
+func mustSched(name string) scheduler.Scheduler {
+	s, err := scheduler.New(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func fig1() error {
+	inst := datasets.Fig1Instance()
+	sch, err := mustSched("HEFT").Schedule(inst)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Fig 1: example problem instance and schedule (HEFT) ==")
+	fmt.Print(render.Gantt(inst, sch, 60))
+	fmt.Println()
+	return writeSVG("fig1.svg", render.GanttSVG(inst, sch, render.SVGOptions{Title: "Fig 1: HEFT schedule"}))
+}
+
+func fig2() error {
+	fmt.Println("== Fig 2: makespan ratios of 15 algorithms on 16 datasets ==")
+	res, err := experiments.BenchmarkingParallel(datasets.TableII, schedulers.Experimental(), *flagN, *flagSeed, *flagWorkers)
+	if err != nil {
+		return err
+	}
+	fmt.Print(render.Grid(
+		fmt.Sprintf("max makespan ratio over %d instances/dataset (color-scale cap: > 5.0)", *flagN),
+		res.Datasets, res.Schedulers, res.MaxGrid()))
+	fmt.Println()
+	return writeSVG("fig2.svg", render.HeatmapSVG("Fig 2: benchmarking",
+		res.Datasets, res.Schedulers, res.MaxGrid()))
+}
+
+func fig3() error {
+	fmt.Println("== Fig 3: HEFT vs CPoP on slightly modified networks ==")
+	heft, cpop := mustSched("HEFT"), mustSched("CPoP")
+	for _, mod := range []bool{false, true} {
+		inst := datasets.Fig3Instance(mod)
+		label := "original"
+		if mod {
+			label = "modified"
+		}
+		for _, s := range []scheduler.Scheduler{heft, cpop} {
+			sch, err := s.Schedule(inst)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("-- %s network, %s --\n%s", label, s.Name(), render.Gantt(inst, sch, 60))
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func fig4() error {
+	fmt.Println("== Fig 4: pairwise PISA heatmap (15 x 15) ==")
+	opts := experiments.PairwiseOptions{Anneal: anneal()}
+	res, err := experiments.PairwisePISAParallel(schedulers.Experimental(), opts, *flagWorkers)
+	if err != nil {
+		return err
+	}
+	rows := append([][]float64{res.Worst}, res.Ratios...)
+	rowLabels := append([]string{"Worst"}, res.Schedulers...)
+	fmt.Print(render.Grid(
+		fmt.Sprintf("cell (row i, col j) = worst-case ratio of scheduler j vs base i (%d restarts x %d iters)",
+			*flagRestarts, *flagIters),
+		rowLabels, res.Schedulers, rows))
+	fmt.Println()
+	return writeSVG("fig4.svg", render.HeatmapSVG("Fig 4: pairwise PISA",
+		rowLabels, res.Schedulers, rows))
+}
+
+func caseStudy(cmd string) error {
+	var inst *graph.Instance
+	if cmd == "fig5" {
+		inst = datasets.Fig5Instance()
+		fmt.Println("== Fig 5: instance where HEFT performs ~1.55x worse than CPoP ==")
+	} else {
+		inst = datasets.Fig6Instance()
+		fmt.Println("== Fig 6: instance where CPoP performs ~2.83x worse than HEFT ==")
+	}
+	heft, cpop := mustSched("HEFT"), mustSched("CPoP")
+	sh, err := heft.Schedule(inst)
+	if err != nil {
+		return err
+	}
+	sc, err := cpop.Schedule(inst)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("-- HEFT --\n%s-- CPoP --\n%s", render.Gantt(inst, sh, 60), render.Gantt(inst, sc, 60))
+	fmt.Printf("HEFT/CPoP = %.3f   CPoP/HEFT = %.3f\n\n",
+		sh.Makespan()/sc.Makespan(), sc.Makespan()/sh.Makespan())
+	return nil
+}
+
+func family(title string, gen func(*rng.RNG) *graph.Instance) error {
+	fmt.Println("== " + title + " ==")
+	scheds := []scheduler.Scheduler{mustSched("CPoP"), mustSched("HEFT")}
+	res, err := experiments.Family(gen, scheds, *flagN, *flagSeed)
+	if err != nil {
+		return err
+	}
+	for _, name := range res.Schedulers {
+		fmt.Print(render.Histogram(name, res.Makespans[name], 10))
+	}
+	fmt.Println()
+	return nil
+}
+
+func fig9() error {
+	fmt.Println("== Fig 9: srasearch and blast workflow structures ==")
+	r := rng.New(*flagSeed)
+	for _, wf := range []string{"srasearch", "blast"} {
+		g, err := datasets.WorkflowRecipe(wf, r.Split())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- %s: %d tasks, %d dependencies --\n", wf, g.NumTasks(), g.NumDeps())
+		order, err := g.TopoOrder()
+		if err != nil {
+			return err
+		}
+		for _, t := range order {
+			if len(g.Succ[t]) == 0 {
+				fmt.Printf("  %s (sink)\n", g.Tasks[t].Name)
+				continue
+			}
+			fmt.Printf("  %s ->", g.Tasks[t].Name)
+			for _, d := range g.Succ[t] {
+				fmt.Printf(" %s", g.Tasks[d.To].Name)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func appSpecific(workflow string) error {
+	ccrs := experiments.CCRLevels
+	if *flagCCR > 0 {
+		ccrs = []float64{*flagCCR}
+	}
+	scheds := schedulers.AppSpecific()
+	for _, ccr := range ccrs {
+		res, err := experiments.AppSpecific(scheds, experiments.AppSpecificOptions{
+			Workflow:           workflow,
+			CCR:                ccr,
+			BenchmarkInstances: *flagN,
+			Anneal:             anneal(),
+		})
+		if err != nil {
+			return err
+		}
+		rows := append([][]float64{}, res.Ratios...)
+		rows = append(rows, res.Benchmark)
+		rowLabels := append([]string{}, res.Schedulers...)
+		rowLabels = append(rowLabels, "Benchmarking")
+		fmt.Printf("== %s (CCR = %.1f): application-specific benchmarking + PISA ==\n", workflow, ccr)
+		fmt.Print(render.Grid("", rowLabels, res.Schedulers, rows))
+		fmt.Println()
+	}
+	return nil
+}
+
+func anneal() core.Options {
+	o := core.DefaultOptions()
+	o.MaxIters = *flagIters
+	o.Restarts = *flagRestarts
+	o.Seed = *flagSeed
+	return o
+}

@@ -1,0 +1,492 @@
+// Command saga is the CLI for the SAGA/PISA reproduction: list
+// algorithms and datasets, generate problem instances, run a scheduler on
+// an instance, and run PISA for a scheduler pair.
+//
+// Usage:
+//
+//	saga list                                  # Table I roster
+//	saga datasets                              # Table II roster
+//	saga generate -dataset chains -out i.json  # draw an instance
+//	saga schedule -scheduler HEFT -in i.json   # schedule it
+//	saga pisa -target HEFT -base CPoP          # adversarial search
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"saga/internal/core"
+	"saga/internal/datasets"
+	"saga/internal/experiments"
+	"saga/internal/graph"
+	"saga/internal/render"
+	"saga/internal/rng"
+	"saga/internal/scheduler"
+	"saga/internal/schedulers"
+	"saga/internal/serialize"
+	"saga/internal/sim"
+	"saga/internal/wfc"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "list":
+		err = list()
+	case "datasets":
+		err = listDatasets()
+	case "generate":
+		err = generate(args)
+	case "schedule":
+		err = scheduleCmd(args)
+	case "pisa":
+		err = pisaCmd(args)
+	case "portfolio":
+		err = portfolioCmd(args)
+	case "robustness":
+		err = robustnessCmd(args)
+	case "convert":
+		err = convertCmd(args)
+	case "simulate":
+		err = simulateCmd(args)
+	case "benchmark":
+		err = benchmarkCmd(args)
+	case "describe":
+		err = describeCmd(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saga: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: saga <command> [flags]
+
+commands:
+  list       list the implemented scheduling algorithms (Table I)
+  datasets   list the available dataset generators (Table II)
+  generate   -dataset <name> [-seed N] [-out file.json]
+  schedule   -scheduler <name> -in file.json [-gantt]
+  pisa       -target <name> -base <name> [-method sa|ga] [-iters N] [-restarts N] [-seed N] [-out file.json]
+  portfolio  -k N [-schedulers a,b,c] [-iters N] [-restarts N] [-seed N]
+  robustness -scheduler <name> -in file.json [-sigma F] [-n N] [-seed N]
+  convert    -from-wfc wf.json [-link F] [-ccr F] -out inst.json   (wfformat -> instance)
+             -from-instance inst.json -out wf.json                 (instance -> wfformat)
+  simulate   -scheduler <name> -in file.json [-contention]
+  benchmark  [-datasets a,b] [-schedulers x,y] [-n N] [-seed N]
+  describe   -dataset <name> [-n N] [-seed N]`)
+}
+
+func list() error {
+	fmt.Println("schedulers (Table I):")
+	for _, n := range scheduler.Names() {
+		s, err := scheduler.New(n)
+		if err != nil {
+			return err
+		}
+		req := scheduler.RequirementsOf(s)
+		suffix := ""
+		if req.HomogeneousNodes && req.HomogeneousLinks {
+			suffix = " (designed for homogeneous nodes and links)"
+		} else if req.HomogeneousNodes {
+			suffix = " (designed for homogeneous nodes)"
+		} else if req.HomogeneousLinks {
+			suffix = " (designed for homogeneous links)"
+		}
+		fmt.Printf("  %s%s\n", n, suffix)
+	}
+	return nil
+}
+
+func listDatasets() error {
+	fmt.Println("datasets (Table II):")
+	for _, n := range datasets.Names() {
+		fmt.Printf("  %s\n", n)
+	}
+	return nil
+}
+
+func generate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	name := fs.String("dataset", "chains", "dataset generator name")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("out", "", "output file (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := datasets.New(*name)
+	if err != nil {
+		return err
+	}
+	inst := g.Generate(rng.New(*seed))
+	data, err := serialize.MarshalInstance(inst)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		fmt.Println(string(data))
+		return nil
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+func scheduleCmd(args []string) error {
+	fs := flag.NewFlagSet("schedule", flag.ExitOnError)
+	name := fs.String("scheduler", "HEFT", "scheduler name")
+	in := fs.String("in", "", "instance JSON file (required)")
+	gantt := fs.Bool("gantt", true, "render an ASCII Gantt chart")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("schedule: -in is required")
+	}
+	inst, err := serialize.LoadInstance(*in)
+	if err != nil {
+		return err
+	}
+	s, err := scheduler.New(*name)
+	if err != nil {
+		return err
+	}
+	sch, err := s.Schedule(inst)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s makespan: %.6f\n", s.Name(), sch.Makespan())
+	if *gantt {
+		fmt.Print(render.Gantt(inst, sch, 72))
+	}
+	return nil
+}
+
+func pisaCmd(args []string) error {
+	fs := flag.NewFlagSet("pisa", flag.ExitOnError)
+	targetName := fs.String("target", "HEFT", "scheduler to find bad instances for")
+	baseName := fs.String("base", "CPoP", "baseline scheduler")
+	iters := fs.Int("iters", 1000, "iterations per restart")
+	restarts := fs.Int("restarts", 5, "independent restarts")
+	seed := fs.Uint64("seed", 1, "random seed")
+	method := fs.String("method", "sa", "search meta-heuristic: sa (simulated annealing) or ga (genetic)")
+	out := fs.String("out", "", "write the worst-case instance JSON here")
+	trace := fs.String("trace", "", "write the annealing trace CSV here (sa only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	target, err := scheduler.New(*targetName)
+	if err != nil {
+		return err
+	}
+	base, err := scheduler.New(*baseName)
+	if err != nil {
+		return err
+	}
+	var res *core.Result
+	switch *method {
+	case "sa":
+		opts := core.DefaultOptions()
+		opts.MaxIters = *iters
+		opts.Restarts = *restarts
+		opts.Seed = *seed
+		opts.RecordTrace = *trace != ""
+		res, err = experiments.SinglePISA(target, base, opts)
+	case "ga":
+		opts := core.DefaultGAOptions()
+		opts.Generations = *iters / 10
+		if opts.Generations < 1 {
+			opts.Generations = 1
+		}
+		opts.Seed = *seed
+		opts.InitialInstance = experiments.RandomChainInstance
+		res, err = core.RunGA(target, base, opts)
+	default:
+		return fmt.Errorf("pisa: unknown method %q (want sa or ga)", *method)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worst-case makespan ratio of %s against %s: %s (per-restart: %v)\n",
+		target.Name(), base.Name(), render.Cell(res.BestRatio), res.RestartRatios)
+	st, err := target.Schedule(res.Best)
+	if err != nil {
+		return err
+	}
+	sb, err := base.Schedule(res.Best)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("-- %s --\n%s-- %s --\n%s", target.Name(), render.Gantt(res.Best, st, 72),
+		base.Name(), render.Gantt(res.Best, sb, 72))
+	if *trace != "" && len(res.Trace) > 0 {
+		if err := os.WriteFile(*trace, []byte(res.TraceCSV()), 0o644); err != nil {
+			return err
+		}
+	}
+	if *out != "" {
+		return serialize.SaveInstance(*out, res.Best)
+	}
+	return nil
+}
+
+func portfolioCmd(args []string) error {
+	fs := flag.NewFlagSet("portfolio", flag.ExitOnError)
+	k := fs.Int("k", 3, "portfolio size")
+	names := fs.String("schedulers", strings.Join(schedulers.AppSpecificNames, ","),
+		"comma-separated scheduler names")
+	iters := fs.Int("iters", 250, "PISA iterations per restart")
+	restarts := fs.Int("restarts", 2, "PISA restarts per pair")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var scheds []scheduler.Scheduler
+	for _, n := range strings.Split(*names, ",") {
+		s, err := scheduler.New(strings.TrimSpace(n))
+		if err != nil {
+			return err
+		}
+		scheds = append(scheds, s)
+	}
+	opts := core.DefaultOptions()
+	opts.MaxIters = *iters
+	opts.Restarts = *restarts
+	opts.Seed = *seed
+	res, err := experiments.PairwisePISA(scheds, experiments.PairwiseOptions{Anneal: opts})
+	if err != nil {
+		return err
+	}
+	fmt.Println("pairwise PISA grid (row = base, column = analyzed):")
+	fmt.Print(render.Grid("", res.Schedulers, res.Schedulers, res.Ratios))
+	p, err := experiments.SelectPortfolio(res.Schedulers, res.Ratios, *k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nbest %d-scheduler portfolio: %s (combined worst-case ratio %s)\n",
+		*k, strings.Join(p.Members, " + "), render.Cell(p.WorstRatio))
+	return nil
+}
+
+func robustnessCmd(args []string) error {
+	fs := flag.NewFlagSet("robustness", flag.ExitOnError)
+	name := fs.String("scheduler", "HEFT", "scheduler name")
+	in := fs.String("in", "", "instance JSON file (required)")
+	sigma := fs.Float64("sigma", 0.2, "relative cost jitter (clipped gaussian sd)")
+	n := fs.Int("n", 100, "jitter samples")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("robustness: -in is required")
+	}
+	inst, err := serialize.LoadInstance(*in)
+	if err != nil {
+		return err
+	}
+	s, err := scheduler.New(*name)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.Robustness(inst, s, *sigma, *n, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s nominal makespan: %.4f\n", res.Scheduler, res.Nominal)
+	fmt.Printf("static replay under +/-%.0f%% cost jitter (n=%d): mean %.4f  p50 %.4f  max %.4f\n",
+		*sigma*100, res.Static.N, res.Static.Mean, res.Static.Median, res.Static.Max)
+	fmt.Printf("adaptive re-planning:                              mean %.4f  p50 %.4f  max %.4f\n",
+		res.Adaptive.Mean, res.Adaptive.Median, res.Adaptive.Max)
+	return nil
+}
+
+// convertCmd bridges the WfCommons wfformat and this repository's
+// instance JSON: real execution-trace workflows can be imported and
+// scheduled, and generated or adversarial instances exported for other
+// WfCommons-compatible tools.
+func convertCmd(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	fromWfc := fs.String("from-wfc", "", "wfformat JSON to import")
+	fromInst := fs.String("from-instance", "", "instance JSON to export as wfformat")
+	link := fs.Float64("link", 1, "uniform link strength for imported networks")
+	ccr := fs.Float64("ccr", 0, "if > 0, set homogeneous links for this average CCR instead")
+	nodes := fs.Int("nodes", 4, "network size when the wfformat file lists no machines")
+	out := fs.String("out", "", "output file (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var data []byte
+	switch {
+	case *fromWfc != "" && *fromInst != "":
+		return fmt.Errorf("convert: -from-wfc and -from-instance are mutually exclusive")
+	case *fromWfc != "":
+		raw, err := os.ReadFile(*fromWfc)
+		if err != nil {
+			return err
+		}
+		doc, err := wfc.Parse(raw)
+		if err != nil {
+			return err
+		}
+		g, err := doc.ToTaskGraph()
+		if err != nil {
+			return err
+		}
+		net := doc.ToNetwork(*link)
+		if net == nil {
+			net = graphNewUnitNetwork(*nodes, *link)
+		}
+		inst := graphNewInstance(g, net)
+		if *ccr > 0 {
+			datasets.SetHomogeneousCCR(inst, *ccr)
+		}
+		if err := inst.Validate(); err != nil {
+			return err
+		}
+		data, err = serialize.MarshalInstance(inst)
+		if err != nil {
+			return err
+		}
+	case *fromInst != "":
+		inst, err := serialize.LoadInstance(*fromInst)
+		if err != nil {
+			return err
+		}
+		doc := wfc.FromTaskGraph("saga-export", inst.Graph)
+		data, err = doc.Marshal()
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("convert: one of -from-wfc or -from-instance is required")
+	}
+	if *out == "" {
+		fmt.Println(string(data))
+		return nil
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// graphNewUnitNetwork builds an n-node unit-speed network with the given
+// uniform link strength, for imported workflows without machine data.
+func graphNewUnitNetwork(n int, link float64) *graph.Network {
+	net := graph.NewNetwork(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			net.SetLink(u, v, link)
+		}
+	}
+	return net
+}
+
+// graphNewInstance is a local alias keeping convertCmd readable.
+func graphNewInstance(g *graph.TaskGraph, net *graph.Network) *graph.Instance {
+	return graph.NewInstance(g, net)
+}
+
+// simulateCmd schedules an instance and replays the result on the
+// discrete-event platform simulator, reporting utilization, message
+// counts, and — with -contention — how much single-channel links stretch
+// the makespan beyond the contention-free model every scheduler assumes.
+func simulateCmd(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	name := fs.String("scheduler", "HEFT", "scheduler name")
+	in := fs.String("in", "", "instance JSON file (required)")
+	contention := fs.Bool("contention", false, "serialize concurrent transfers per link")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("simulate: -in is required")
+	}
+	inst, err := serialize.LoadInstance(*in)
+	if err != nil {
+		return err
+	}
+	s, err := scheduler.New(*name)
+	if err != nil {
+		return err
+	}
+	sch, err := s.Schedule(inst)
+	if err != nil {
+		return err
+	}
+	strict, err := sim.Execute(inst, sch)
+	if err != nil {
+		return fmt.Errorf("simulate: schedule not executable: %w", err)
+	}
+	fmt.Printf("%s planned makespan:   %.6f\n", s.Name(), sch.Makespan())
+	fmt.Printf("simulated makespan:     %.6f (%d remote transfers, utilization %.1f%%)\n",
+		strict.Makespan, strict.Messages, 100*strict.Utilization())
+	if *contention {
+		cont, err := sim.ExecuteElastic(inst, sch, sim.ElasticOptions{LinkContention: true})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("with link contention:   %.6f (%.2fx the contention-free plan)\n",
+			cont.Makespan, cont.Makespan/sch.Makespan())
+	}
+	return nil
+}
+
+// benchmarkCmd runs a Fig 2-style benchmarking sweep over chosen
+// datasets and schedulers.
+func benchmarkCmd(args []string) error {
+	fs := flag.NewFlagSet("benchmark", flag.ExitOnError)
+	ds := fs.String("datasets", "chains,in_trees,out_trees", "comma-separated dataset names")
+	names := fs.String("schedulers", strings.Join(schedulers.AppSpecificNames, ","),
+		"comma-separated scheduler names")
+	n := fs.Int("n", 20, "instances per dataset")
+	seed := fs.Uint64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var scheds []scheduler.Scheduler
+	for _, nm := range strings.Split(*names, ",") {
+		s, err := scheduler.New(strings.TrimSpace(nm))
+		if err != nil {
+			return err
+		}
+		scheds = append(scheds, s)
+	}
+	dsNames := strings.Split(*ds, ",")
+	for i := range dsNames {
+		dsNames[i] = strings.TrimSpace(dsNames[i])
+	}
+	res, err := experiments.BenchmarkingParallel(dsNames, scheds, *n, *seed, *workers)
+	if err != nil {
+		return err
+	}
+	fmt.Print(render.Grid(
+		fmt.Sprintf("max makespan ratio against the best scheduler (%d instances/dataset)", *n),
+		res.Datasets, res.Schedulers, res.MaxGrid()))
+	return nil
+}
+
+// describeCmd prints structural statistics of a dataset sample.
+func describeCmd(args []string) error {
+	fs := flag.NewFlagSet("describe", flag.ExitOnError)
+	name := fs.String("dataset", "chains", "dataset generator name")
+	n := fs.Int("n", 50, "sample size")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	instances, err := datasets.Dataset(*name, *n, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(datasets.Describe(*name, instances).String())
+	return nil
+}

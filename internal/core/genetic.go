@@ -1,0 +1,192 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"saga/internal/graph"
+	"saga/internal/rng"
+	"saga/internal/scheduler"
+)
+
+// GAOptions configures the genetic adversarial instance finder — the
+// "other meta-heuristics (e.g., genetic algorithms)" direction the
+// paper's conclusion proposes for future work. The search space and
+// objective are identical to PISA's: problem instances, scored by the
+// makespan ratio of the target scheduler over the baseline; only the
+// search strategy differs (population + tournament selection + crossover
+// + perturbation-as-mutation instead of one annealed trajectory).
+type GAOptions struct {
+	// PopulationSize is the number of instances per generation.
+	PopulationSize int
+	// Generations is the number of evolution steps.
+	Generations int
+	// TournamentK is the tournament-selection size.
+	TournamentK int
+	// Elite is how many best instances survive unchanged per generation.
+	Elite int
+	// MutationRate is the probability each offspring is perturbed
+	// (using the same operators as PISA).
+	MutationRate float64
+	// Seed drives all randomness.
+	Seed uint64
+	// InitialInstance generates the initial population (required).
+	InitialInstance func(r *rng.RNG) *graph.Instance
+	// Perturb configures the mutation operators; zero value = Section VI
+	// defaults.
+	Perturb PerturbOptions
+}
+
+// DefaultGAOptions returns a configuration comparable in evaluation
+// budget to the paper's annealing run (≈2300 evaluations): population 20
+// over 100 generations.
+func DefaultGAOptions() GAOptions {
+	return GAOptions{
+		PopulationSize: 20,
+		Generations:    100,
+		TournamentK:    3,
+		Elite:          2,
+		MutationRate:   0.9,
+		Seed:           1,
+	}
+}
+
+type individual struct {
+	inst  *graph.Instance
+	ratio float64
+}
+
+// RunGA evolves adversarial instances for the target scheduler against
+// the baseline and returns the best found. Crossover between two parent
+// instances swaps weight vectors where the parents are structurally
+// compatible and otherwise clones the fitter parent; mutation applies
+// one PISA perturbation.
+func RunGA(target, baseline scheduler.Scheduler, opts GAOptions) (*Result, error) {
+	if opts.InitialInstance == nil {
+		return nil, errors.New("core: GAOptions.InitialInstance is required")
+	}
+	if opts.PopulationSize < 2 || opts.Generations <= 0 {
+		return nil, errors.New("core: GA needs PopulationSize >= 2 and Generations > 0")
+	}
+	if opts.TournamentK <= 0 {
+		opts.TournamentK = 3
+	}
+	if opts.Elite < 0 || opts.Elite >= opts.PopulationSize {
+		opts.Elite = 1
+	}
+	p := opts.Perturb.withDefaults()
+	r := rng.New(opts.Seed)
+	res := &Result{}
+
+	pop := make([]individual, opts.PopulationSize)
+	for i := range pop {
+		inst := prepare(opts.InitialInstance(r.Split()), p)
+		ratio, err := evaluate(target, baseline, inst)
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluations++
+		pop[i] = individual{inst: inst, ratio: ratio}
+	}
+
+	byFitness := func() {
+		sort.SliceStable(pop, func(a, b int) bool { return pop[a].ratio > pop[b].ratio })
+	}
+	byFitness()
+
+	tournament := func() individual {
+		best := pop[r.Intn(len(pop))]
+		for k := 1; k < opts.TournamentK; k++ {
+			c := pop[r.Intn(len(pop))]
+			if c.ratio > best.ratio {
+				best = c
+			}
+		}
+		return best
+	}
+
+	for gen := 0; gen < opts.Generations; gen++ {
+		next := make([]individual, 0, opts.PopulationSize)
+		for i := 0; i < opts.Elite; i++ {
+			next = append(next, pop[i])
+		}
+		for len(next) < opts.PopulationSize {
+			a, b := tournament(), tournament()
+			child := crossover(a, b, r)
+			if r.Float64() < opts.MutationRate {
+				perturb(child, r, p)
+			}
+			ratio, err := evaluate(target, baseline, child)
+			if err != nil {
+				return nil, err
+			}
+			res.Evaluations++
+			next = append(next, individual{inst: child, ratio: ratio})
+		}
+		pop = next
+		byFitness()
+	}
+
+	res.Best = pop[0].inst
+	res.BestRatio = pop[0].ratio
+	res.RestartRatios = []float64{pop[0].ratio}
+	return res, nil
+}
+
+// crossover combines two parent instances. When the parents have the
+// same task count, node count and dependency set, the child takes each
+// task cost, dependency cost, node speed and link strength from a
+// uniformly random parent (uniform crossover on the weight vector).
+// Structurally incompatible parents — possible because mutation can add
+// or remove dependencies — yield a clone of the fitter parent.
+func crossover(a, b individual, r *rng.RNG) *graph.Instance {
+	fitter, other := a, b
+	if b.ratio > a.ratio {
+		fitter, other = b, a
+	}
+	if !compatible(fitter.inst, other.inst) {
+		return fitter.inst.Clone()
+	}
+	child := fitter.inst.Clone()
+	for t := range child.Graph.Tasks {
+		if r.Float64() < 0.5 {
+			child.Graph.Tasks[t].Cost = other.inst.Graph.Tasks[t].Cost
+		}
+	}
+	for _, d := range child.Graph.Deps() {
+		if r.Float64() < 0.5 {
+			c, _ := other.inst.Graph.DepCost(d[0], d[1])
+			child.Graph.SetDepCost(d[0], d[1], c)
+		}
+	}
+	for v := range child.Net.Speeds {
+		if r.Float64() < 0.5 {
+			child.Net.Speeds[v] = other.inst.Net.Speeds[v]
+		}
+	}
+	for u := 0; u < child.Net.NumNodes(); u++ {
+		for v := u + 1; v < child.Net.NumNodes(); v++ {
+			if r.Float64() < 0.5 {
+				child.Net.SetLink(u, v, other.inst.Net.Links[u][v])
+			}
+		}
+	}
+	return child
+}
+
+// compatible reports whether two instances share a structure (task and
+// node counts, identical dependency sets), making weight-level crossover
+// meaningful.
+func compatible(a, b *graph.Instance) bool {
+	if a.Graph.NumTasks() != b.Graph.NumTasks() ||
+		a.Net.NumNodes() != b.Net.NumNodes() ||
+		a.Graph.NumDeps() != b.Graph.NumDeps() {
+		return false
+	}
+	for _, d := range a.Graph.Deps() {
+		if !b.Graph.HasDep(d[0], d[1]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"saga/internal/graph"
+	"saga/internal/rng"
+)
+
+// perturbOp enumerates the six Section VI perturbation operators.
+type perturbOp int
+
+const (
+	opNodeWeight perturbOp = iota
+	opLinkWeight
+	opTaskWeight
+	opDepWeight
+	opAddDep
+	opRemoveDep
+)
+
+// enabledOps returns the operators permitted by the configuration.
+func enabledOps(p PerturbOptions) []perturbOp {
+	ops := []perturbOp{opTaskWeight}
+	if !p.FixSpeeds {
+		ops = append(ops, opNodeWeight)
+	}
+	if !p.FixLinks {
+		ops = append(ops, opLinkWeight)
+	}
+	ops = append(ops, opDepWeight)
+	if !p.FixStructure {
+		ops = append(ops, opAddDep, opRemoveDep)
+	}
+	return ops
+}
+
+// perturb applies one randomly chosen perturbation to the instance in
+// place, per Section VI: weight changes move a uniformly chosen weight by
+// a uniform amount in ±Step (clamped to the configured range; network
+// weights additionally floored at MinNetWeight), Add Dependency inserts a
+// random acyclic edge, Remove Dependency deletes a random edge.
+// Operators that cannot apply (no edges to remove, graph already
+// transitively closed) fall through to a weight perturbation so every
+// call changes something.
+func perturb(inst *graph.Instance, r *rng.RNG, p PerturbOptions) {
+	ops := enabledOps(p)
+	op := ops[r.Intn(len(ops))]
+	switch op {
+	case opNodeWeight:
+		perturbNodeWeight(inst, r, p)
+	case opLinkWeight:
+		if !perturbLinkWeight(inst, r, p) {
+			perturbNodeWeight(inst, r, p)
+		}
+	case opTaskWeight:
+		perturbTaskWeight(inst, r, p)
+	case opDepWeight:
+		if !perturbDepWeight(inst, r, p) {
+			perturbTaskWeight(inst, r, p)
+		}
+	case opAddDep:
+		if !perturbAddDep(inst, r, p) {
+			perturbTaskWeight(inst, r, p)
+		}
+	case opRemoveDep:
+		if !perturbRemoveDep(inst, r) {
+			perturbTaskWeight(inst, r, p)
+		}
+	}
+}
+
+func clampRange(v float64, rng [2]float64, floor float64) float64 {
+	if v < rng[0] {
+		v = rng[0]
+	}
+	if v > rng[1] {
+		v = rng[1]
+	}
+	if v < floor {
+		v = floor
+	}
+	return v
+}
+
+// step scales the perturbation magnitude to the weight range: the paper
+// moves weights by ±1/10 on a [0, 1] range, i.e. a tenth of the span.
+func step(p PerturbOptions, rng [2]float64, r *rng.RNG) float64 {
+	span := rng[1] - rng[0]
+	if span <= 0 {
+		span = 1
+	}
+	return r.Uniform(-p.Step, p.Step) * span
+}
+
+func perturbNodeWeight(inst *graph.Instance, r *rng.RNG, p PerturbOptions) {
+	v := r.Intn(inst.Net.NumNodes())
+	inst.Net.Speeds[v] = clampRange(inst.Net.Speeds[v]+step(p, p.Speed, r), p.Speed, p.MinNetWeight)
+}
+
+func perturbLinkWeight(inst *graph.Instance, r *rng.RNG, p PerturbOptions) bool {
+	n := inst.Net.NumNodes()
+	if n < 2 {
+		return false
+	}
+	u := r.Intn(n)
+	v := r.Intn(n - 1)
+	if v >= u {
+		v++
+	}
+	cur := inst.Net.Links[u][v]
+	inst.Net.SetLink(u, v, clampRange(cur+step(p, p.Link, r), p.Link, p.MinNetWeight))
+	return true
+}
+
+func perturbTaskWeight(inst *graph.Instance, r *rng.RNG, p PerturbOptions) {
+	t := r.Intn(inst.Graph.NumTasks())
+	inst.Graph.Tasks[t].Cost = clampRange(inst.Graph.Tasks[t].Cost+step(p, p.TaskCost, r), p.TaskCost, 0)
+}
+
+func perturbDepWeight(inst *graph.Instance, r *rng.RNG, p PerturbOptions) bool {
+	deps := inst.Graph.Deps()
+	if len(deps) == 0 {
+		return false
+	}
+	d := deps[r.Intn(len(deps))]
+	cur, _ := inst.Graph.DepCost(d[0], d[1])
+	inst.Graph.SetDepCost(d[0], d[1], clampRange(cur+step(p, p.DepCost, r), p.DepCost, 0))
+	return true
+}
+
+// perturbAddDep picks a task uniformly at random and adds a dependency to
+// another uniformly random task such that the edge is new and acyclic,
+// with a uniform weight in the dependency range. It tries a bounded
+// number of random pairs before giving up.
+func perturbAddDep(inst *graph.Instance, r *rng.RNG, p PerturbOptions) bool {
+	g := inst.Graph
+	n := g.NumTasks()
+	if n < 2 {
+		return false
+	}
+	const tries = 16
+	for i := 0; i < tries; i++ {
+		t := r.Intn(n)
+		t2 := r.Intn(n - 1)
+		if t2 >= t {
+			t2++
+		}
+		if g.HasDep(t, t2) || g.Reaches(t2, t) {
+			continue
+		}
+		g.MustAddDep(t, t2, r.Uniform(p.DepCost[0], p.DepCost[1]))
+		return true
+	}
+	return false
+}
+
+func perturbRemoveDep(inst *graph.Instance, r *rng.RNG) bool {
+	deps := inst.Graph.Deps()
+	if len(deps) == 0 {
+		return false
+	}
+	d := deps[r.Intn(len(deps))]
+	return inst.Graph.RemoveDep(d[0], d[1])
+}

@@ -1,0 +1,285 @@
+// Package core implements PISA — Problem-instance Identification using
+// Simulated Annealing — the paper's primary contribution (Section VI).
+//
+// Given a target scheduler A and a baseline scheduler B, PISA searches
+// the space of problem instances for one that maximizes the makespan
+// ratio m(S_A)/m(S_B), i.e. an instance on which A maximally
+// under-performs B. The search is the simulated annealing loop of
+// Algorithm 1: perturb the instance, keep it if the ratio improved,
+// otherwise keep it with a temperature-controlled probability, and cool.
+//
+// Six perturbation operators match Section VI; the application-specific
+// mode of Section VII restricts them (no structural changes, weights
+// rescaled to observed ranges, links pinned) so the search stays inside a
+// family of realistic instances.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"saga/internal/graph"
+	"saga/internal/rng"
+	"saga/internal/scheduler"
+)
+
+// DefaultOptions returns the paper's annealing parameters: Tmax = 10,
+// Tmin = 0.1, α = 0.99, Imax = 1000, 5 restarts.
+func DefaultOptions() Options {
+	return Options{
+		TMax:     10,
+		TMin:     0.1,
+		Alpha:    0.99,
+		MaxIters: 1000,
+		Restarts: 5,
+		Seed:     1,
+	}
+}
+
+// Options configures a PISA run.
+type Options struct {
+	// TMax, TMin and Alpha control the cooling schedule; MaxIters caps
+	// iterations per restart.
+	TMax, TMin, Alpha float64
+	MaxIters          int
+	// Restarts is the number of independent annealing runs, each from a
+	// freshly generated initial instance.
+	Restarts int
+	// Seed drives all randomness (restart sub-streams are derived).
+	Seed uint64
+	// InitialInstance, if non-nil, generates the starting instance for
+	// each restart. Nil means datasets.InitialPISAInstance-style chains
+	// must be supplied by the caller via this hook.
+	InitialInstance func(r *rng.RNG) *graph.Instance
+	// Perturb configures the perturbation operators. Zero value =
+	// Section VI defaults via DefaultPerturb.
+	Perturb PerturbOptions
+	// OnImprove, if non-nil, is called whenever the best ratio improves
+	// (useful for tracing).
+	OnImprove func(iteration int, ratio float64)
+	// RecordTrace, when set, captures one TracePoint per candidate
+	// evaluation into Result.Trace — the data behind annealing-curve
+	// plots and convergence analysis.
+	RecordTrace bool
+}
+
+// TracePoint is one step of the annealing search.
+type TracePoint struct {
+	Restart     int
+	Iteration   int
+	Temperature float64
+	Ratio       float64 // the candidate's makespan ratio
+	Best        float64 // incumbent best after this step
+	Accepted    bool    // candidate became the current state
+}
+
+// PerturbOptions bounds the perturbation operators.
+type PerturbOptions struct {
+	// Step is the maximum absolute weight change per perturbation
+	// (paper: 0.1 — one tenth of the weight range).
+	Step float64
+	// TaskCost, DepCost, Speed and Link are the [min, max] ranges weights
+	// are clamped to. The paper's Section VI search uses [0, 1] for all.
+	TaskCost, DepCost, Speed, Link [2]float64
+	// FixSpeeds pins node speeds (set for schedulers designed for
+	// homogeneous nodes: ETF, FCP, FLB).
+	FixSpeeds bool
+	// FixLinks pins link strengths (set for schedulers designed for
+	// homogeneous links: BIL, GDL, FCP, FLB — and for the Section VII
+	// application-specific mode, which fixes links to enforce a CCR).
+	FixLinks bool
+	// FixStructure disables the add/remove-dependency operators
+	// (Section VII application-specific mode).
+	FixStructure bool
+	// KeepPinnedWeights keeps the initial instance's pinned speeds/links
+	// as generated instead of resetting them to 1. Section VI resets
+	// pinned weights to 1 (the zero value); the Section VII
+	// application-specific mode sets this so the CCR-derived link
+	// strengths survive.
+	KeepPinnedWeights bool
+	// MinNetWeight floors network weights so speeds and strengths stay
+	// positive; defaults to 0.01.
+	MinNetWeight float64
+}
+
+// DefaultPerturb returns the Section VI perturbation configuration:
+// step 0.1, all weights in [0, 1], full structural freedom.
+func DefaultPerturb() PerturbOptions {
+	return PerturbOptions{
+		Step:     0.1,
+		TaskCost: [2]float64{0, 1},
+		DepCost:  [2]float64{0, 1},
+		Speed:    [2]float64{0, 1},
+		Link:     [2]float64{0, 1},
+	}
+}
+
+func (p PerturbOptions) withDefaults() PerturbOptions {
+	if p.Step == 0 {
+		p.Step = 0.1
+	}
+	zero := [2]float64{}
+	if p.TaskCost == zero {
+		p.TaskCost = [2]float64{0, 1}
+	}
+	if p.DepCost == zero {
+		p.DepCost = [2]float64{0, 1}
+	}
+	if p.Speed == zero {
+		p.Speed = [2]float64{0, 1}
+	}
+	if p.Link == zero {
+		p.Link = [2]float64{0, 1}
+	}
+	if p.MinNetWeight == 0 {
+		p.MinNetWeight = 0.01
+	}
+	return p
+}
+
+// Result is the outcome of a PISA run.
+type Result struct {
+	// Best is the instance maximizing the makespan ratio of the target
+	// over the baseline; BestRatio is that ratio.
+	Best      *graph.Instance
+	BestRatio float64
+	// RestartRatios records the best ratio achieved by each restart.
+	RestartRatios []float64
+	// Evaluations counts scheduler invocations (two per candidate).
+	Evaluations int
+	// Trace holds per-candidate annealing steps when
+	// Options.RecordTrace is set.
+	Trace []TracePoint
+}
+
+// TraceCSV renders the recorded trace as CSV (one row per candidate).
+func (r *Result) TraceCSV() string {
+	var b strings.Builder
+	b.WriteString("restart,iteration,temperature,ratio,best,accepted\n")
+	for _, p := range r.Trace {
+		fmt.Fprintf(&b, "%d,%d,%.6f,%.6f,%.6f,%t\n",
+			p.Restart, p.Iteration, p.Temperature, p.Ratio, p.Best, p.Accepted)
+	}
+	return b.String()
+}
+
+// Run executes PISA for target scheduler A against baseline B. The
+// result's Best instance maximizes m(S_A)/m(S_B) over the search.
+func Run(target, baseline scheduler.Scheduler, opts Options) (*Result, error) {
+	if opts.InitialInstance == nil {
+		return nil, errors.New("core: Options.InitialInstance is required")
+	}
+	if opts.MaxIters <= 0 || opts.Restarts <= 0 {
+		return nil, errors.New("core: MaxIters and Restarts must be positive")
+	}
+	if !(opts.Alpha > 0 && opts.Alpha < 1) || !(opts.TMax > opts.TMin) || opts.TMin <= 0 {
+		return nil, fmt.Errorf("core: invalid cooling schedule (TMax=%v, TMin=%v, Alpha=%v)",
+			opts.TMax, opts.TMin, opts.Alpha)
+	}
+	p := opts.Perturb.withDefaults()
+	root := rng.New(opts.Seed)
+
+	res := &Result{BestRatio: math.Inf(-1)}
+	for restart := 0; restart < opts.Restarts; restart++ {
+		r := root.Split()
+		cur := prepare(opts.InitialInstance(r), p)
+		curRatio, err := evaluate(target, baseline, cur)
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluations++
+
+		best, bestRatio := cur.Clone(), curRatio
+		temp := opts.TMax
+		for iter := 0; temp > opts.TMin && iter < opts.MaxIters; iter++ {
+			cand := cur.Clone()
+			perturb(cand, r, p)
+			candRatio, err := evaluate(target, baseline, cand)
+			if err != nil {
+				return nil, err
+			}
+			res.Evaluations++
+
+			accepted := false
+			if candRatio > bestRatio {
+				best, bestRatio = cand.Clone(), candRatio
+				cur, curRatio = cand, candRatio
+				accepted = true
+				if opts.OnImprove != nil {
+					opts.OnImprove(iter, bestRatio)
+				}
+			} else {
+				// Algorithm 1 line 9: accept a non-improving candidate
+				// with probability exp(−(M'/M_best)/T).
+				if r.Float64() < math.Exp(-(candRatio/bestRatio)/temp) {
+					cur, curRatio = cand, candRatio
+					accepted = true
+				}
+			}
+			if opts.RecordTrace {
+				res.Trace = append(res.Trace, TracePoint{
+					Restart:     restart,
+					Iteration:   iter,
+					Temperature: temp,
+					Ratio:       candRatio,
+					Best:        bestRatio,
+					Accepted:    accepted,
+				})
+			}
+			temp *= opts.Alpha
+		}
+		res.RestartRatios = append(res.RestartRatios, bestRatio)
+		if bestRatio > res.BestRatio {
+			res.Best, res.BestRatio = best, bestRatio
+		}
+	}
+	_ = res.Best.Validate() // best-effort sanity; instances stay valid by construction
+	return res, nil
+}
+
+// evaluate returns the makespan ratio of the target over the baseline on
+// the instance.
+func evaluate(target, baseline scheduler.Scheduler, inst *graph.Instance) (float64, error) {
+	st, err := target.Schedule(inst)
+	if err != nil {
+		return 0, fmt.Errorf("core: target %s failed: %w", target.Name(), err)
+	}
+	sb, err := baseline.Schedule(inst)
+	if err != nil {
+		return 0, fmt.Errorf("core: baseline %s failed: %w", baseline.Name(), err)
+	}
+	mt, mb := st.Makespan(), sb.Makespan()
+	if mb == 0 {
+		if mt == 0 {
+			return 1, nil
+		}
+		return math.Inf(1), nil
+	}
+	return mt / mb, nil
+}
+
+// prepare enforces the homogeneity constraints on a fresh initial
+// instance: pinned speeds or links are reset to 1, matching the paper's
+// setup ("we set all node weights to be 1 initially and do not allow
+// them to be changed").
+func prepare(inst *graph.Instance, p PerturbOptions) *graph.Instance {
+	if p.KeepPinnedWeights {
+		return inst
+	}
+	if p.FixSpeeds {
+		for v := range inst.Net.Speeds {
+			inst.Net.Speeds[v] = 1
+		}
+	}
+	if p.FixLinks {
+		n := inst.Net.NumNodes()
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				inst.Net.SetLink(u, v, 1)
+			}
+		}
+	}
+	return inst
+}

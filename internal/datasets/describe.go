@@ -1,0 +1,63 @@
+package datasets
+
+import (
+	"fmt"
+	"strings"
+
+	"saga/internal/graph"
+	"saga/internal/stats"
+)
+
+// Description summarizes a batch of problem instances: the structural
+// and weight statistics a user checks before trusting a benchmark on a
+// dataset (Table II reports exactly these kinds of parameters).
+type Description struct {
+	Name      string
+	Instances int
+	Tasks     stats.Summary
+	Deps      stats.Summary
+	Nodes     stats.Summary
+	Depth     stats.Summary
+	Width     stats.Summary
+	CCR       stats.Summary
+}
+
+// Describe computes batch statistics for a slice of instances.
+func Describe(name string, instances []*graph.Instance) Description {
+	var tasks, deps, nodes, depth, width, ccr []float64
+	for _, in := range instances {
+		tasks = append(tasks, float64(in.Graph.NumTasks()))
+		deps = append(deps, float64(in.Graph.NumDeps()))
+		nodes = append(nodes, float64(in.Net.NumNodes()))
+		depth = append(depth, float64(in.Graph.Depth()))
+		width = append(width, float64(in.Graph.Width()))
+		ccr = append(ccr, in.CCR())
+	}
+	return Description{
+		Name:      name,
+		Instances: len(instances),
+		Tasks:     stats.Summarize(tasks),
+		Deps:      stats.Summarize(deps),
+		Nodes:     stats.Summarize(nodes),
+		Depth:     stats.Summarize(depth),
+		Width:     stats.Summarize(width),
+		CCR:       stats.Summarize(ccr),
+	}
+}
+
+// String renders the description as an aligned table.
+func (d Description) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d instances\n", d.Name, d.Instances)
+	row := func(label string, s stats.Summary) {
+		fmt.Fprintf(&b, "  %-7s min %8.2f  median %8.2f  mean %8.2f  max %8.2f\n",
+			label, s.Min, s.Median, s.Mean, s.Max)
+	}
+	row("tasks", d.Tasks)
+	row("deps", d.Deps)
+	row("nodes", d.Nodes)
+	row("depth", d.Depth)
+	row("width", d.Width)
+	row("CCR", d.CCR)
+	return b.String()
+}

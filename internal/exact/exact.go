@@ -1,0 +1,210 @@
+// Package exact provides an exact branch-and-bound makespan solver. It
+// backs two Table I schedulers: BruteForce (exhaustive optimum) and SMT,
+// which in the paper drives an external SMT solver with binary search to
+// find a (1+ε)-optimal schedule. Offline and stdlib-only, this package
+// substitutes a pure-Go exact feasibility search for the SMT solver; the
+// interface (binary search over a makespan deadline, exponential worst
+// case, tiny-instance applicability) is identical. See DESIGN.md,
+// substitution 1.
+//
+// The search branches over (ready task, node) placements, scheduling each
+// placed task at its earliest feasible start. Every combination of
+// assignment and per-node execution order is reachable this way, and for
+// a fixed assignment and order, starting every task as early as possible
+// is optimal — so the search space contains an optimal schedule.
+package exact
+
+import (
+	"errors"
+	"math"
+
+	"saga/internal/graph"
+	"saga/internal/schedule"
+	"saga/internal/scheduler"
+)
+
+// ErrBudget is returned when the search exceeds its node budget before
+// proving optimality (or feasibility).
+var ErrBudget = errors.New("exact: search budget exceeded")
+
+// Options bounds the search.
+type Options struct {
+	// MaxNodes caps the number of explored search nodes. Zero means the
+	// default of 5 million.
+	MaxNodes int64
+}
+
+func (o Options) maxNodes() int64 {
+	if o.MaxNodes <= 0 {
+		return 5_000_000
+	}
+	return o.MaxNodes
+}
+
+// LowerBound returns a makespan lower bound for the instance: the larger
+// of the communication-free critical path under best-case speeds and the
+// total-work bound (sum of costs over summed speeds).
+func LowerBound(inst *graph.Instance) float64 {
+	g, net := inst.Graph, inst.Net
+	maxSpeed := 0.0
+	sumSpeed := 0.0
+	for _, s := range net.Speeds {
+		if s > maxSpeed {
+			maxSpeed = s
+		}
+		sumSpeed += s
+	}
+	// Critical path with every task at its fastest and no communication.
+	order, err := g.TopoOrder()
+	if err != nil {
+		return 0
+	}
+	finish := make([]float64, g.NumTasks())
+	cp := 0.0
+	for _, t := range order {
+		ready := 0.0
+		for _, d := range g.Pred[t] {
+			if finish[d.To] > ready {
+				ready = finish[d.To]
+			}
+		}
+		finish[t] = ready + g.Tasks[t].Cost/maxSpeed
+		if finish[t] > cp {
+			cp = finish[t]
+		}
+	}
+	work := 0.0
+	for _, t := range g.Tasks {
+		work += t.Cost
+	}
+	return math.Max(cp, work/sumSpeed)
+}
+
+type searcher struct {
+	inst     *graph.Instance
+	deadline float64 // prune finishes beyond this; +Inf for pure optimization
+	best     float64
+	bestSch  *schedule.Schedule
+	nodes    int64
+	maxNodes int64
+	// remaining[t] is a lower bound on time from t's start to the end of
+	// the schedule: communication-free critical path from t at max speed.
+	remaining []float64
+}
+
+func newSearcher(inst *graph.Instance, deadline float64, opts Options) *searcher {
+	s := &searcher{
+		inst:     inst,
+		deadline: deadline,
+		best:     math.Inf(1),
+		maxNodes: opts.maxNodes(),
+	}
+	g := inst.Graph
+	maxSpeed := 0.0
+	for _, sp := range inst.Net.Speeds {
+		if sp > maxSpeed {
+			maxSpeed = sp
+		}
+	}
+	s.remaining = make([]float64, g.NumTasks())
+	order, _ := g.TopoOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		t := order[i]
+		tail := 0.0
+		for _, d := range g.Succ[t] {
+			if s.remaining[d.To] > tail {
+				tail = s.remaining[d.To]
+			}
+		}
+		s.remaining[t] = g.Tasks[t].Cost/maxSpeed + tail
+	}
+	return s
+}
+
+// search explores placements depth-first. firstOnly stops at the first
+// complete schedule meeting the deadline (feasibility mode).
+func (s *searcher) search(b *schedule.Builder, rs *scheduler.ReadySet, firstOnly bool) error {
+	s.nodes++
+	if s.nodes > s.maxNodes {
+		return ErrBudget
+	}
+	if rs.Empty() {
+		m := b.Makespan()
+		if m < s.best {
+			s.best = m
+			sch, err := b.Schedule()
+			if err != nil {
+				return err
+			}
+			s.bestSch = sch
+		}
+		return nil
+	}
+	ready := append([]int(nil), rs.Ready()...)
+	for _, t := range ready {
+		for v := 0; v < s.inst.Net.NumNodes(); v++ {
+			start, finish, ok := b.EFT(t, v, false)
+			if !ok {
+				continue
+			}
+			// Bound: the branch's final makespan is at least the task's
+			// own finish and at least start plus the communication-free
+			// critical path from t at best speed. Prune branches that
+			// cannot beat the incumbent or meet the deadline.
+			lb := math.Max(start+s.remaining[t], finish)
+			if lb >= s.best-graph.Eps || lb > s.deadline+graph.Eps {
+				continue
+			}
+			b2 := cloneBuilder(b)
+			b2.Place(t, v, start)
+			rs.Complete(t)
+			err := s.search(b2, rs, firstOnly)
+			rs.Uncomplete(t)
+			if err != nil {
+				return err
+			}
+			if firstOnly && s.bestSch != nil && s.best <= s.deadline+graph.Eps {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// cloneBuilder copies builder state for backtracking. Builders are small
+// (a few tasks) for the instance sizes this package accepts, so copying
+// beats undo bookkeeping.
+func cloneBuilder(b *schedule.Builder) *schedule.Builder {
+	return b.Clone()
+}
+
+// Solve returns a minimum-makespan schedule, searching exhaustively with
+// branch-and-bound. It returns ErrBudget if the instance is too large for
+// the node budget.
+func Solve(inst *graph.Instance, opts Options) (*schedule.Schedule, error) {
+	s := newSearcher(inst, math.Inf(1), opts)
+	b := schedule.NewBuilder(inst)
+	rs := scheduler.NewReadySet(inst.Graph)
+	if err := s.search(b, rs, false); err != nil {
+		return nil, err
+	}
+	if s.bestSch == nil {
+		return nil, errors.New("exact: no schedule found")
+	}
+	return s.bestSch, nil
+}
+
+// Feasible reports whether a schedule with makespan <= deadline exists,
+// returning one if so.
+func Feasible(inst *graph.Instance, deadline float64, opts Options) (*schedule.Schedule, bool, error) {
+	s := newSearcher(inst, deadline, opts)
+	b := schedule.NewBuilder(inst)
+	rs := scheduler.NewReadySet(inst.Graph)
+	if err := s.search(b, rs, true); err != nil {
+		return nil, false, err
+	}
+	if s.bestSch != nil && s.best <= deadline+graph.Eps {
+		return s.bestSch, true, nil
+	}
+	return nil, false, nil
+}

@@ -1,0 +1,129 @@
+// Package experiments implements the paper's evaluation drivers: the
+// Fig 2 benchmarking grid, the Fig 4 pairwise PISA heatmap, the Fig 7/8
+// family studies, and the Section VII application-specific
+// benchmarking+PISA grids (Figs 10-19). Each driver returns plain data
+// plus labels; package render turns them into the text figures.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"saga/internal/datasets"
+	"saga/internal/graph"
+	"saga/internal/scheduler"
+	"saga/internal/stats"
+)
+
+// BenchmarkCell summarizes one (dataset, scheduler) cell of Fig 2: the
+// distribution of the scheduler's makespan ratios against the best of all
+// schedulers over the dataset's instances.
+type BenchmarkCell struct {
+	Dataset   string
+	Scheduler string
+	// Max, Mean and P75 summarize the per-instance makespan ratios (the
+	// paper's gradient cells show the distribution; its color scale tops
+	// out at the max).
+	Max, Mean, P75 float64
+}
+
+// BenchmarkResult is the Fig 2 grid.
+type BenchmarkResult struct {
+	Datasets   []string
+	Schedulers []string
+	Cells      map[string]map[string]BenchmarkCell // dataset → scheduler → cell
+}
+
+// MaxGrid returns the max-ratio matrix indexed [dataset][scheduler],
+// ready for render.Grid.
+func (r *BenchmarkResult) MaxGrid() [][]float64 {
+	out := make([][]float64, len(r.Datasets))
+	for i, d := range r.Datasets {
+		out[i] = make([]float64, len(r.Schedulers))
+		for j, s := range r.Schedulers {
+			out[i][j] = r.Cells[d][s].Max
+		}
+	}
+	return out
+}
+
+// Benchmarking reproduces Fig 2: run every scheduler on n instances of
+// each named dataset and record, per instance, the scheduler's makespan
+// ratio against the minimum makespan any scheduler achieved on that
+// instance. Schedulers that fail on an instance (none of the 15
+// experimental algorithms do) are skipped for that instance.
+func Benchmarking(datasetNames []string, scheds []scheduler.Scheduler, n int, seed uint64) (*BenchmarkResult, error) {
+	res := &BenchmarkResult{
+		Datasets: datasetNames,
+		Cells:    map[string]map[string]BenchmarkCell{},
+	}
+	for _, s := range scheds {
+		res.Schedulers = append(res.Schedulers, s.Name())
+	}
+	for _, ds := range datasetNames {
+		instances, err := datasets.Dataset(ds, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		ratios := make(map[string][]float64, len(scheds))
+		for _, inst := range instances {
+			makespans := make([]float64, len(scheds))
+			best := math.Inf(1)
+			for i, s := range scheds {
+				sch, err := s.Schedule(inst)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s on %s: %w", s.Name(), ds, err)
+				}
+				makespans[i] = sch.Makespan()
+				if makespans[i] < best {
+					best = makespans[i]
+				}
+			}
+			if best == 0 {
+				continue
+			}
+			for i, s := range scheds {
+				ratios[s.Name()] = append(ratios[s.Name()], makespans[i]/best)
+			}
+		}
+		res.Cells[ds] = map[string]BenchmarkCell{}
+		for _, s := range scheds {
+			rs := ratios[s.Name()]
+			res.Cells[ds][s.Name()] = BenchmarkCell{
+				Dataset:   ds,
+				Scheduler: s.Name(),
+				Max:       stats.Max(rs),
+				Mean:      stats.Mean(rs),
+				P75:       stats.Percentile(rs, 75),
+			}
+		}
+	}
+	return res, nil
+}
+
+// MakespanRatioAgainstBest returns the makespan ratio of each scheduler
+// against the best scheduler on the single instance — the per-instance
+// quantity Fig 2 aggregates.
+func MakespanRatioAgainstBest(inst *graph.Instance, scheds []scheduler.Scheduler) (map[string]float64, error) {
+	makespans := map[string]float64{}
+	best := math.Inf(1)
+	for _, s := range scheds {
+		sch, err := s.Schedule(inst)
+		if err != nil {
+			return nil, err
+		}
+		makespans[s.Name()] = sch.Makespan()
+		if m := sch.Makespan(); m < best {
+			best = m
+		}
+	}
+	out := map[string]float64{}
+	for n, m := range makespans {
+		if best == 0 {
+			out[n] = 1
+		} else {
+			out[n] = m / best
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"saga/internal/core"
+	"saga/internal/datasets"
+	"saga/internal/scheduler"
+)
+
+// MethodComparison reports how the two adversarial search meta-heuristics
+// — the paper's simulated annealing and the future-work genetic
+// algorithm — perform on the same scheduler pair at (approximately)
+// equal evaluation budgets.
+type MethodComparison struct {
+	Target, Base  string
+	SARatio       float64
+	SAEvaluations int
+	GARatio       float64
+	GAEvaluations int
+}
+
+// CompareSearchMethods runs PISA's annealer and the GA for the pair with
+// budgets matched to roughly `budget` candidate evaluations each, and
+// returns both best ratios. It backs the ablation of the search strategy
+// (DESIGN.md extensions).
+func CompareSearchMethods(target, base scheduler.Scheduler, budget int, seed uint64) (*MethodComparison, error) {
+	if budget < 20 {
+		budget = 20
+	}
+	res := &MethodComparison{Target: target.Name(), Base: base.Name()}
+
+	// SA: the paper's 5 restarts; iterations sized to the budget. The
+	// cooling schedule caps effective iterations at ~459 per restart, so
+	// cap there too.
+	restarts := 5
+	iters := budget / restarts
+	if iters < 1 {
+		iters = 1
+	}
+	sa := core.DefaultOptions()
+	sa.MaxIters = iters
+	sa.Restarts = restarts
+	sa.Seed = seed
+	sa.InitialInstance = datasets.InitialPISAInstance
+	saRes, err := core.Run(target, base, sa)
+	if err != nil {
+		return nil, err
+	}
+	res.SARatio, res.SAEvaluations = saRes.BestRatio, saRes.Evaluations
+
+	// GA: population 20, generations sized to the remaining budget.
+	ga := core.DefaultGAOptions()
+	ga.Seed = seed
+	ga.InitialInstance = datasets.InitialPISAInstance
+	ga.Generations = budget / ga.PopulationSize
+	if ga.Generations < 1 {
+		ga.Generations = 1
+	}
+	gaRes, err := core.RunGA(target, base, ga)
+	if err != nil {
+		return nil, err
+	}
+	res.GARatio, res.GAEvaluations = gaRes.BestRatio, gaRes.Evaluations
+	return res, nil
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"saga/internal/core"
+	"saga/internal/datasets"
+	"saga/internal/graph"
+	"saga/internal/scheduler"
+)
+
+// The pairwise PISA grid and the benchmarking sweep are embarrassingly
+// parallel: each (target, base) pair — and each dataset — is an
+// independent computation with its own derived random seed. The parallel
+// runners below fan the work out over a bounded worker pool and produce
+// results bit-identical to the sequential drivers: seeds are assigned by
+// cell position, never by completion order.
+
+// PairwisePISAParallel computes the same grid as PairwisePISA using up
+// to workers goroutines (0 = GOMAXPROCS). Results are deterministic and
+// identical to the sequential driver for the same options.
+func PairwisePISAParallel(scheds []scheduler.Scheduler, opts PairwiseOptions, workers int) (*PairwiseResult, error) {
+	n := len(scheds)
+	res := &PairwiseResult{
+		Ratios:    make([][]float64, n),
+		Worst:     make([]float64, n),
+		Instances: make([][]*graph.Instance, n),
+	}
+	for _, s := range scheds {
+		res.Schedulers = append(res.Schedulers, s.Name())
+	}
+	for i := range res.Ratios {
+		res.Ratios[i] = make([]float64, n)
+		res.Instances[i] = make([]*graph.Instance, n)
+		for j := range res.Ratios[i] {
+			res.Ratios[i][j] = -1
+		}
+	}
+
+	type cell struct{ i, j int }
+	var cells []cell
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				cells = append(cells, cell{i, j})
+			}
+		}
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	// Seed each cell by its sequential position so parallel and serial
+	// runs agree. Schedulers may be stateful (WBA holds a seed but is
+	// re-created per goroutine via the registry) — instantiate fresh
+	// copies per worker to avoid sharing.
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	baseSeed := opts.Anneal.Seed
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= len(cells) {
+					mu.Unlock()
+					return
+				}
+				k := next
+				next++
+				mu.Unlock()
+
+				c := cells[k]
+				target, err := scheduler.New(res.Schedulers[c.j])
+				if err == nil {
+					var base scheduler.Scheduler
+					base, err = scheduler.New(res.Schedulers[c.i])
+					if err == nil {
+						ao := opts.Anneal
+						ao.Seed = baseSeed + uint64(k) + 1
+						ao.InitialInstance = datasets.InitialPISAInstance
+						ao.Perturb = pairPerturb(target, base)
+						var r *core.Result
+						r, err = core.Run(target, base, ao)
+						if err == nil {
+							mu.Lock()
+							res.Ratios[c.i][c.j] = r.BestRatio
+							res.Instances[c.i][c.j] = r.Best
+							mu.Unlock()
+							continue
+						}
+					}
+				}
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if i != j && res.Ratios[i][j] > res.Worst[j] {
+				res.Worst[j] = res.Ratios[i][j]
+			}
+		}
+	}
+	return res, nil
+}
+
+// BenchmarkingParallel computes the same grid as Benchmarking with one
+// worker per dataset (bounded by workers; 0 = GOMAXPROCS). Instance
+// seeds derive from the dataset name position, so results match the
+// sequential driver.
+func BenchmarkingParallel(datasetNames []string, scheds []scheduler.Scheduler, n int, seed uint64, workers int) (*BenchmarkResult, error) {
+	res := &BenchmarkResult{
+		Datasets: datasetNames,
+		Cells:    map[string]map[string]BenchmarkCell{},
+	}
+	for _, s := range scheds {
+		res.Schedulers = append(res.Schedulers, s.Name())
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(datasetNames) {
+		workers = len(datasetNames)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= len(datasetNames) {
+					mu.Unlock()
+					return
+				}
+				k := next
+				next++
+				mu.Unlock()
+
+				ds := datasetNames[k]
+				// Fresh scheduler instances per dataset worker.
+				var local []scheduler.Scheduler
+				var err error
+				for _, name := range res.Schedulers {
+					var s scheduler.Scheduler
+					s, err = scheduler.New(name)
+					if err != nil {
+						break
+					}
+					local = append(local, s)
+				}
+				var sub *BenchmarkResult
+				if err == nil {
+					sub, err = Benchmarking([]string{ds}, local, n, seed)
+				}
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				res.Cells[ds] = sub.Cells[ds]
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PortfolioResult is the outcome of the Section VII portfolio-selection
+// procedure the paper sketches for Workflow Management System designers:
+// "run PISA and choose the three algorithms with the combined minimum
+// maximum makespan ratio".
+type PortfolioResult struct {
+	// Members are the selected scheduler names, in roster order.
+	Members []string
+	// WorstRatio is the portfolio's combined worst-case makespan ratio:
+	// the maximum over base schedulers of the minimum over members of
+	// the PISA cell (a portfolio runs all members and keeps the best
+	// schedule, so per base it pays the best member's ratio).
+	WorstRatio float64
+}
+
+// SelectPortfolio chooses the size-k subset of schedulers minimizing the
+// combined maximum makespan ratio against every base scheduler, given a
+// PISA grid (ratios[i][j] = worst-case ratio of scheduler j against base
+// i; diagonal and unknown cells < 0 are treated as ratio 1, since a
+// scheduler never loses to itself).
+//
+// The scheduler count is small (15 in the paper), so exhaustive subset
+// enumeration is exact and cheap: C(15,3) = 455 candidates.
+func SelectPortfolio(schedulers []string, ratios [][]float64, k int) (*PortfolioResult, error) {
+	n := len(schedulers)
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("experiments: portfolio size %d outside [1, %d]", k, n)
+	}
+	if len(ratios) != n {
+		return nil, fmt.Errorf("experiments: ratio grid has %d rows for %d schedulers", len(ratios), n)
+	}
+
+	best := &PortfolioResult{WorstRatio: math.Inf(1)}
+	subset := make([]int, k)
+	var recurse func(start, depth int)
+	recurse = func(start, depth int) {
+		if depth == k {
+			worst := 0.0
+			for base := 0; base < n; base++ {
+				cell := math.Inf(1)
+				for _, j := range subset {
+					r := ratios[base][j]
+					if r < 0 {
+						r = 1 // self or unknown: no loss
+					}
+					if r < cell {
+						cell = r
+					}
+				}
+				if cell > worst {
+					worst = cell
+				}
+			}
+			if worst < best.WorstRatio {
+				members := make([]string, k)
+				for i, j := range subset {
+					members[i] = schedulers[j]
+				}
+				best.Members, best.WorstRatio = members, worst
+			}
+			return
+		}
+		for j := start; j <= n-(k-depth); j++ {
+			subset[depth] = j
+			recurse(j+1, depth+1)
+		}
+	}
+	recurse(0, 0)
+	sort.Strings(best.Members)
+	return best, nil
+}

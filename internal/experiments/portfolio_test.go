@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"testing"
+
+	"saga/internal/graph"
+	"saga/internal/scheduler"
+)
+
+func TestSelectPortfolioHandPicked(t *testing.T) {
+	// Three schedulers; A is terrible against base 2, B against base 0,
+	// C mediocre everywhere. Best pair must be {A, B}: each covers the
+	// other's weakness.
+	names := []string{"A", "B", "C"}
+	ratios := [][]float64{
+		{-1, 10, 3},
+		{1.2, -1, 3},
+		{10, 1.1, -1},
+	}
+	res, err := SelectPortfolio(names, ratios, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Members) != 2 || res.Members[0] != "A" || res.Members[1] != "B" {
+		t.Fatalf("portfolio = %v, want [A B]", res.Members)
+	}
+	// Worst ratio: base0 → min(-1→1 for A, 10 for B)=1; base1 → min(1.2, -1→1)=1;
+	// base2 → min(10, 1.1) = 1.1.
+	if !graph.ApproxEq(res.WorstRatio, 1.1) {
+		t.Fatalf("WorstRatio = %v, want 1.1", res.WorstRatio)
+	}
+}
+
+func TestSelectPortfolioFullSetIsBest(t *testing.T) {
+	names := []string{"A", "B"}
+	ratios := [][]float64{{-1, 2}, {3, -1}}
+	res, err := SelectPortfolio(names, ratios, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With every scheduler included, each base is covered by itself.
+	if !graph.ApproxEq(res.WorstRatio, 1) {
+		t.Fatalf("full portfolio worst ratio = %v, want 1", res.WorstRatio)
+	}
+}
+
+func TestSelectPortfolioMonotonicInK(t *testing.T) {
+	// Larger portfolios can only improve the combined worst ratio.
+	scheds := []scheduler.Scheduler{
+		mustSched(t, "HEFT"), mustSched(t, "CPoP"),
+		mustSched(t, "MinMin"), mustSched(t, "FastestNode"),
+	}
+	res, err := PairwisePISA(scheds, PairwiseOptions{Anneal: smallAnneal(60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1e18
+	for k := 1; k <= len(scheds); k++ {
+		p, err := SelectPortfolio(res.Schedulers, res.Ratios, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.WorstRatio > prev+graph.Eps {
+			t.Fatalf("k=%d worsened the portfolio: %v > %v", k, p.WorstRatio, prev)
+		}
+		prev = p.WorstRatio
+		if len(p.Members) != k {
+			t.Fatalf("portfolio size %d, want %d", len(p.Members), k)
+		}
+	}
+}
+
+func TestSelectPortfolioErrors(t *testing.T) {
+	if _, err := SelectPortfolio([]string{"A"}, [][]float64{{-1}}, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := SelectPortfolio([]string{"A"}, [][]float64{{-1}}, 2); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	if _, err := SelectPortfolio([]string{"A", "B"}, [][]float64{{-1, 1}}, 1); err == nil {
+		t.Fatal("ragged grid accepted")
+	}
+}

@@ -1,0 +1,174 @@
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"saga/internal/graph"
+	"saga/internal/schedule"
+)
+
+// SVGOptions controls SVG Gantt rendering.
+type SVGOptions struct {
+	// Width and RowHeight are pixel dimensions (defaults 800 and 28).
+	Width, RowHeight int
+	// Title is drawn above the chart when non-empty.
+	Title string
+}
+
+func (o SVGOptions) withDefaults() SVGOptions {
+	if o.Width <= 0 {
+		o.Width = 800
+	}
+	if o.RowHeight <= 0 {
+		o.RowHeight = 28
+	}
+	return o
+}
+
+// palette cycles task fill colors (color-blind-safe Okabe-Ito hues).
+var palette = []string{
+	"#0072B2", "#E69F00", "#009E73", "#CC79A7",
+	"#56B4E9", "#D55E00", "#F0E442", "#999999",
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// GanttSVG renders the schedule as a standalone SVG document: one lane
+// per node, one rectangle per task, with a time axis. It is the vector
+// counterpart of Gantt for figures that go into documents rather than
+// terminals.
+func GanttSVG(inst *graph.Instance, s *schedule.Schedule, opts SVGOptions) string {
+	o := opts.withDefaults()
+	makespan := s.Makespan()
+	if makespan == 0 {
+		makespan = 1
+	}
+	const labelW = 70
+	const axisH = 24
+	titleH := 0
+	if o.Title != "" {
+		titleH = 26
+	}
+	chartW := o.Width - labelW - 10
+	height := titleH + s.NumNodes*o.RowHeight + axisH + 10
+	scale := float64(chartW) / makespan
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="12">`+"\n",
+		o.Width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", o.Width, height)
+	if o.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="17" font-size="14">%s</text>`+"\n", labelW, svgEscape(o.Title))
+	}
+
+	// Node lanes.
+	for v := 0; v < s.NumNodes; v++ {
+		y := titleH + v*o.RowHeight
+		fill := "#f7f7f7"
+		if v%2 == 1 {
+			fill = "#ececec"
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+			labelW, y, chartW, o.RowHeight, fill)
+		fmt.Fprintf(&b, `<text x="4" y="%d">node %d</text>`+"\n", y+o.RowHeight/2+4, v)
+	}
+
+	// Task rectangles.
+	for _, a := range s.Assignments() {
+		y := titleH + a.Node*o.RowHeight
+		x := labelW + int(math.Round(a.Start*scale))
+		w := int(math.Round((a.End - a.Start) * scale))
+		if w < 2 {
+			w = 2
+		}
+		color := palette[a.Task%len(palette)]
+		name := svgEscape(inst.Graph.Tasks[a.Task].Name)
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#333"><title>%s [%.3f, %.3f] on node %d</title></rect>`+"\n",
+			x, y+3, w, o.RowHeight-6, color, name, a.Start, a.End, a.Node)
+		if w > 8*len(name) {
+			fmt.Fprintf(&b, `<text x="%d" y="%d" fill="white">%s</text>`+"\n",
+				x+4, y+o.RowHeight/2+4, name)
+		}
+	}
+
+	// Time axis with ~8 ticks.
+	axisY := titleH + s.NumNodes*o.RowHeight
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+		labelW, axisY, labelW+chartW, axisY)
+	ticks := 8
+	for i := 0; i <= ticks; i++ {
+		tv := makespan * float64(i) / float64(ticks)
+		x := labelW + int(math.Round(tv*scale))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#333"/>`+"\n",
+			x, axisY, x, axisY+4)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%.2f</text>`+"\n", x-12, axisY+18, tv)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// HeatmapSVG renders a ratio matrix as an SVG heatmap with the paper's
+// color convention: white at ratio 1 through red at the 5.0 cap (values
+// above the cap, including the ">1000" cells, saturate). Negative cells
+// (the blank diagonal) render gray.
+func HeatmapSVG(title string, rowLabels, colLabels []string, values [][]float64) string {
+	const cell = 46
+	const left = 110
+	const top = 60
+	width := left + cell*len(colLabels) + 10
+	height := top + cell*len(rowLabels) + 10
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n",
+		width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13">%s</text>`+"\n", left, svgEscape(title))
+	}
+	for j, l := range colLabels {
+		x := left + j*cell + cell/2
+		fmt.Fprintf(&b, `<text x="%d" y="%d" transform="rotate(-45 %d %d)">%s</text>`+"\n",
+			x, top-8, x, top-8, svgEscape(l))
+	}
+	for i, rl := range rowLabels {
+		y := top + i*cell
+		fmt.Fprintf(&b, `<text x="4" y="%d">%s</text>`+"\n", y+cell/2+4, svgEscape(rl))
+		for j := range colLabels {
+			v := values[i][j]
+			x := left + j*cell
+			fill := "#dddddd"
+			label := ""
+			if v >= 0 {
+				fill = heatColor(v)
+				label = strings.TrimSpace(Cell(v))
+			}
+			fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="#fff"/>`+"\n",
+				x, y, cell, cell, fill)
+			if label != "" {
+				fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+					x+cell/2, y+cell/2+4, svgEscape(label))
+			}
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// heatColor maps a makespan ratio to a white→red gradient capped at 5,
+// mirroring the paper's colormap.
+func heatColor(ratio float64) string {
+	t := (ratio - 1) / 4 // 1 → 0, 5+ → 1
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	gb := int(math.Round(255 * (1 - t)))
+	return fmt.Sprintf("#ff%02x%02x", gb, gb)
+}

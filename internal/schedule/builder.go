@@ -1,0 +1,225 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"saga/internal/graph"
+)
+
+// Builder incrementally constructs a schedule. It tracks per-node
+// timelines so schedulers can query earliest feasible start times — with
+// or without insertion into idle gaps — and data-ready times implied by
+// already-placed prerequisites.
+type Builder struct {
+	inst      *graph.Instance
+	byTask    []Assignment
+	placed    []bool
+	timelines [][]Assignment // per node, sorted by Start
+	nPlaced   int
+}
+
+// NewBuilder returns an empty builder for the instance.
+func NewBuilder(inst *graph.Instance) *Builder {
+	n := inst.Graph.NumTasks()
+	return &Builder{
+		inst:      inst,
+		byTask:    make([]Assignment, n),
+		placed:    make([]bool, n),
+		timelines: make([][]Assignment, inst.Net.NumNodes()),
+	}
+}
+
+// Instance returns the instance the builder schedules.
+func (b *Builder) Instance() *graph.Instance { return b.inst }
+
+// Placed reports whether task t has been scheduled.
+func (b *Builder) Placed(t int) bool { return b.placed[t] }
+
+// NumPlaced returns how many tasks have been scheduled so far.
+func (b *Builder) NumPlaced() int { return b.nPlaced }
+
+// Assignment returns the assignment of task t; it panics if t has not
+// been placed.
+func (b *Builder) Assignment(t int) Assignment {
+	if !b.placed[t] {
+		panic(fmt.Sprintf("schedule: task %d not placed", t))
+	}
+	return b.byTask[t]
+}
+
+// NodeAvailable returns the finish time of the last task on node v (0 if
+// idle).
+func (b *Builder) NodeAvailable(v int) float64 {
+	tl := b.timelines[v]
+	if len(tl) == 0 {
+		return 0
+	}
+	return tl[len(tl)-1].End
+}
+
+// ReadyTime returns the earliest time all of t's inputs can be available
+// on node v, i.e. max over placed predecessors u of end(u) + comm(u→t).
+// ok is false if some predecessor of t is not yet placed.
+func (b *Builder) ReadyTime(t, v int) (ready float64, ok bool) {
+	for _, d := range b.inst.Graph.Pred[t] {
+		u := d.To
+		if !b.placed[u] {
+			return 0, false
+		}
+		au := b.byTask[u]
+		arrive := au.End + b.inst.CommTime(u, t, au.Node, v)
+		if arrive > ready {
+			ready = arrive
+		}
+	}
+	return ready, true
+}
+
+// EnablingPredecessor returns the placed predecessor whose data arrives
+// last at node v (the "enabling" task in FCP/FLB terminology) and its
+// arrival time. ok is false if t has no predecessors or one is unplaced.
+func (b *Builder) EnablingPredecessor(t, v int) (pred int, arrive float64, ok bool) {
+	pred = -1
+	for _, d := range b.inst.Graph.Pred[t] {
+		u := d.To
+		if !b.placed[u] {
+			return -1, 0, false
+		}
+		au := b.byTask[u]
+		at := au.End + b.inst.CommTime(u, t, au.Node, v)
+		if at > arrive || pred == -1 {
+			arrive, pred = at, u
+		}
+	}
+	if pred == -1 {
+		return -1, 0, false
+	}
+	return pred, arrive, true
+}
+
+// EarliestStart returns the earliest time >= ready at which a block of
+// the given duration fits on node v. With insertion enabled it scans idle
+// gaps between already-placed tasks (the HEFT insertion policy);
+// otherwise it returns max(ready, node available time).
+func (b *Builder) EarliestStart(v int, ready, duration float64, insertion bool) float64 {
+	tl := b.timelines[v]
+	if !insertion {
+		return math.Max(ready, b.NodeAvailable(v))
+	}
+	start := ready
+	for _, a := range tl {
+		// Gap before a: [start, a.Start). The fit test is exact, not
+		// epsilon-tolerant: a block that only fits within Eps would
+		// overlap the next task by that epsilon, which the validator
+		// (correctly) rejects on instances whose weights span many
+		// orders of magnitude.
+		if start+duration <= a.Start {
+			return start
+		}
+		if a.End > start {
+			start = a.End
+		}
+	}
+	return start
+}
+
+// EFT returns the earliest start and finish of task t on node v under the
+// given insertion policy. ok is false if a predecessor of t is unplaced.
+func (b *Builder) EFT(t, v int, insertion bool) (start, finish float64, ok bool) {
+	ready, ok := b.ReadyTime(t, v)
+	if !ok {
+		return 0, 0, false
+	}
+	dur := b.inst.ExecTime(t, v)
+	start = b.EarliestStart(v, ready, dur, insertion)
+	return start, start + dur, true
+}
+
+// Place records task t on node v at the given start time. It panics if t
+// is already placed; schedulers are expected to pass feasible starts
+// (validation happens once at the end via Validate).
+func (b *Builder) Place(t, v int, start float64) Assignment {
+	if b.placed[t] {
+		panic(fmt.Sprintf("schedule: task %d placed twice", t))
+	}
+	a := Assignment{Task: t, Node: v, Start: start, End: start + b.inst.ExecTime(t, v)}
+	b.byTask[t] = a
+	b.placed[t] = true
+	b.nPlaced++
+	tl := b.timelines[v]
+	i := sort.Search(len(tl), func(i int) bool { return tl[i].Start >= a.Start })
+	tl = append(tl, Assignment{})
+	copy(tl[i+1:], tl[i:])
+	tl[i] = a
+	b.timelines[v] = tl
+	return a
+}
+
+// PlaceEFT schedules task t on node v at its earliest finish time and
+// returns the assignment. It panics if a predecessor is unplaced.
+func (b *Builder) PlaceEFT(t, v int, insertion bool) Assignment {
+	start, _, ok := b.EFT(t, v, insertion)
+	if !ok {
+		panic(fmt.Sprintf("schedule: task %d has unplaced predecessors", t))
+	}
+	return b.Place(t, v, start)
+}
+
+// BestEFTNode returns the node minimizing t's earliest finish time and
+// the corresponding start. Ties break toward the lower node index.
+func (b *Builder) BestEFTNode(t int, insertion bool) (node int, start float64) {
+	bestNode, bestStart, bestFinish := -1, 0.0, math.Inf(1)
+	for v := 0; v < b.inst.Net.NumNodes(); v++ {
+		s, f, ok := b.EFT(t, v, insertion)
+		if !ok {
+			panic(fmt.Sprintf("schedule: task %d has unplaced predecessors", t))
+		}
+		if f < bestFinish-graph.Eps {
+			bestNode, bestStart, bestFinish = v, s, f
+		}
+	}
+	return bestNode, bestStart
+}
+
+// Clone returns a deep copy of the builder sharing the (immutable)
+// instance. Backtracking searches use it to branch.
+func (b *Builder) Clone() *Builder {
+	c := &Builder{
+		inst:      b.inst,
+		byTask:    append([]Assignment(nil), b.byTask...),
+		placed:    append([]bool(nil), b.placed...),
+		timelines: make([][]Assignment, len(b.timelines)),
+		nPlaced:   b.nPlaced,
+	}
+	for i, tl := range b.timelines {
+		c.timelines[i] = append([]Assignment(nil), tl...)
+	}
+	return c
+}
+
+// Makespan returns the current partial makespan.
+func (b *Builder) Makespan() float64 {
+	m := 0.0
+	for v := range b.timelines {
+		if a := b.NodeAvailable(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Schedule finalizes the builder. It returns an error if any task remains
+// unplaced.
+func (b *Builder) Schedule() (*Schedule, error) {
+	for t, p := range b.placed {
+		if !p {
+			return nil, fmt.Errorf("schedule: task %d never placed", t)
+		}
+	}
+	return &Schedule{
+		NumNodes: b.inst.Net.NumNodes(),
+		ByTask:   append([]Assignment(nil), b.byTask...),
+	}, nil
+}

@@ -1,0 +1,132 @@
+// Package schedule represents and validates task schedules (Section II of
+// the PISA paper) and provides the shared machinery list schedulers use to
+// place tasks: per-node timelines, data-ready times, and earliest-finish
+// slot search with and without insertion.
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"saga/internal/graph"
+)
+
+// Assignment records one scheduled task: the node it runs on and its
+// start/end times. End - Start always equals c(t)/s(v).
+type Assignment struct {
+	Task  int
+	Node  int
+	Start float64
+	End   float64
+}
+
+// Schedule is a complete mapping of tasks to (node, start) tuples.
+// ByTask is indexed by task id. NumNodes records the size of the network
+// the schedule targets so it can be validated and rendered standalone.
+type Schedule struct {
+	NumNodes int
+	ByTask   []Assignment
+}
+
+// Makespan returns the time at which the last task finishes, or 0 for an
+// empty schedule.
+func (s *Schedule) Makespan() float64 {
+	m := 0.0
+	for _, a := range s.ByTask {
+		if a.End > m {
+			m = a.End
+		}
+	}
+	return m
+}
+
+// Assignments returns all assignments sorted by (node, start) — the order
+// a Gantt chart draws them in.
+func (s *Schedule) Assignments() []Assignment {
+	out := append([]Assignment(nil), s.ByTask...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Task < out[j].Task
+	})
+	return out
+}
+
+// Validate checks the Section II validity conditions of s against the
+// instance it was produced for:
+//
+//  1. every task is scheduled exactly once;
+//  2. each task's duration equals c(t)/s(v);
+//  3. no two tasks overlap on a node;
+//  4. a task starts only after every prerequisite has finished and its
+//     output has arrived: r_u + c(u)/s(v_u) + c(u,t)/s(v_u,v_t) <= r_t.
+func Validate(inst *graph.Instance, s *Schedule) error {
+	g, net := inst.Graph, inst.Net
+	if s == nil {
+		return fmt.Errorf("schedule: nil schedule")
+	}
+	if len(s.ByTask) != g.NumTasks() {
+		return fmt.Errorf("schedule: %d assignments for %d tasks", len(s.ByTask), g.NumTasks())
+	}
+	if s.NumNodes != net.NumNodes() {
+		return fmt.Errorf("schedule: schedule targets %d nodes, network has %d", s.NumNodes, net.NumNodes())
+	}
+	perNode := make([][]Assignment, net.NumNodes())
+	for t, a := range s.ByTask {
+		if a.Task != t {
+			return fmt.Errorf("schedule: assignment at index %d records task %d", t, a.Task)
+		}
+		if a.Node < 0 || a.Node >= net.NumNodes() {
+			return fmt.Errorf("schedule: task %d assigned to invalid node %d", t, a.Node)
+		}
+		if a.Start < -graph.Eps || math.IsNaN(a.Start) || math.IsInf(a.Start, 0) {
+			return fmt.Errorf("schedule: task %d has invalid start %v", t, a.Start)
+		}
+		want := inst.ExecTime(t, a.Node)
+		if !graph.ApproxEq(a.End-a.Start, want) {
+			return fmt.Errorf("schedule: task %d on node %d has duration %v, want %v",
+				t, a.Node, a.End-a.Start, want)
+		}
+		perNode[a.Node] = append(perNode[a.Node], a)
+	}
+	for v, as := range perNode {
+		sort.Slice(as, func(i, j int) bool { return as[i].Start < as[j].Start })
+		for i := 1; i < len(as); i++ {
+			if !graph.ApproxLE(as[i-1].End, as[i].Start) {
+				return fmt.Errorf("schedule: tasks %d and %d overlap on node %d",
+					as[i-1].Task, as[i].Task, v)
+			}
+		}
+	}
+	for u, succ := range g.Succ {
+		au := s.ByTask[u]
+		for _, d := range succ {
+			at := s.ByTask[d.To]
+			arrive := au.End + inst.CommTime(u, d.To, au.Node, at.Node)
+			if !graph.ApproxLE(arrive, at.Start) {
+				return fmt.Errorf("schedule: task %d starts at %v before input from %d arrives at %v",
+					d.To, at.Start, u, arrive)
+			}
+		}
+	}
+	return nil
+}
+
+// MakespanRatio returns m(a)/m(b), the paper's makespan-ratio metric for
+// schedule a against baseline b. Degenerate zero-makespan baselines yield
+// 1 when a is also zero, +Inf otherwise.
+func MakespanRatio(a, b *Schedule) float64 {
+	ma, mb := a.Makespan(), b.Makespan()
+	if mb == 0 {
+		if ma == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return ma / mb
+}

@@ -1,0 +1,275 @@
+// Package scheduler defines the common interface every scheduling
+// algorithm implements, a registry used by the CLI and the experiment
+// drivers, and the shared priority computations (upward rank, downward
+// rank, static level) that the list schedulers build on.
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"saga/internal/graph"
+	"saga/internal/schedule"
+)
+
+// Scheduler is the common interface for every algorithm (Table I of the
+// paper). Schedule must return a schedule that satisfies
+// schedule.Validate for any valid instance, or an error if the instance
+// is outside the algorithm's supported size (BruteForce, SMT).
+type Scheduler interface {
+	Name() string
+	Schedule(inst *graph.Instance) (*schedule.Schedule, error)
+}
+
+// Requirements describes the network homogeneity an algorithm was
+// designed for. PISA uses it to restrict perturbations (Section VI): for
+// algorithms designed for homogeneous node speeds the node weights are
+// pinned to 1, and likewise for homogeneous link strengths.
+type Requirements struct {
+	HomogeneousNodes bool
+	HomogeneousLinks bool
+}
+
+// Constrained is implemented by schedulers with homogeneity requirements.
+type Constrained interface {
+	Requirements() Requirements
+}
+
+// RequirementsOf returns the scheduler's requirements, or the zero value
+// (fully heterogeneous) if it declares none.
+func RequirementsOf(s Scheduler) Requirements {
+	if c, ok := s.(Constrained); ok {
+		return c.Requirements()
+	}
+	return Requirements{}
+}
+
+// Func adapts a plain function into a Scheduler.
+type Func struct {
+	SchedName string
+	Fn        func(*graph.Instance) (*schedule.Schedule, error)
+}
+
+// Name implements Scheduler.
+func (f Func) Name() string { return f.SchedName }
+
+// Schedule implements Scheduler.
+func (f Func) Schedule(inst *graph.Instance) (*schedule.Schedule, error) { return f.Fn(inst) }
+
+// registry maps scheduler names to factories.
+var registry = map[string]func() Scheduler{}
+
+// Register adds a scheduler factory under its name. It panics on
+// duplicates; registration happens from package init functions.
+func Register(name string, factory func() Scheduler) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("scheduler: duplicate registration of %q", name))
+	}
+	registry[name] = factory
+}
+
+// New instantiates a registered scheduler by name.
+func New(name string) (Scheduler, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("scheduler: unknown scheduler %q", name)
+	}
+	return f(), nil
+}
+
+// Names returns all registered scheduler names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UpwardRank computes HEFT's rank_u for every task: the average execution
+// time of the task plus the maximum over successors of average
+// communication time plus the successor's rank. Sink tasks have rank
+// equal to their average execution time.
+func UpwardRank(inst *graph.Instance) []float64 {
+	g := inst.Graph
+	rank := make([]float64, g.NumTasks())
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic("scheduler: UpwardRank on cyclic graph: " + err.Error())
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		t := order[i]
+		best := 0.0
+		for _, d := range g.Succ[t] {
+			v := inst.AvgCommTime(t, d.To) + rank[d.To]
+			if v > best {
+				best = v
+			}
+		}
+		rank[t] = inst.AvgExecTime(t) + best
+	}
+	return rank
+}
+
+// DownwardRank computes CPoP's rank_d for every task: the length of the
+// longest average-time path from an entry task to (but not including)
+// the task itself. Entry tasks have rank 0.
+func DownwardRank(inst *graph.Instance) []float64 {
+	g := inst.Graph
+	rank := make([]float64, g.NumTasks())
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic("scheduler: DownwardRank on cyclic graph: " + err.Error())
+	}
+	for _, t := range order {
+		best := 0.0
+		for _, d := range g.Pred[t] {
+			u := d.To
+			v := rank[u] + inst.AvgExecTime(u) + inst.AvgCommTime(u, t)
+			if v > best {
+				best = v
+			}
+		}
+		rank[t] = best
+	}
+	return rank
+}
+
+// StaticLevel computes the communication-free static level used by
+// GDL/DLS and FCP: SL(t) = avg exec(t) + max over successors SL(s).
+func StaticLevel(inst *graph.Instance) []float64 {
+	g := inst.Graph
+	sl := make([]float64, g.NumTasks())
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic("scheduler: StaticLevel on cyclic graph: " + err.Error())
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		t := order[i]
+		best := 0.0
+		for _, d := range g.Succ[t] {
+			if sl[d.To] > best {
+				best = sl[d.To]
+			}
+		}
+		sl[t] = inst.AvgExecTime(t) + best
+	}
+	return sl
+}
+
+// OrderByPriority returns task indices sorted by decreasing priority,
+// breaking ties toward the lower task index. The result is always a valid
+// topological order when the priorities are strictly decreasing along
+// edges (true for UpwardRank on graphs with positive task costs).
+func OrderByPriority(priority []float64) []int {
+	order := make([]int, len(priority))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if priority[order[a]] != priority[order[b]] {
+			return priority[order[a]] > priority[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// TopoOrderByPriority returns a topological order of g that always picks,
+// among the currently ready tasks, the one with the highest priority
+// (ties toward the lower task index). For priorities that strictly
+// decrease along edges — upward rank on graphs with positive task costs —
+// this coincides with a plain descending sort, but unlike a plain sort it
+// remains a valid topological order when zero-cost tasks produce rank
+// ties (which PISA's weight perturbations readily create).
+func TopoOrderByPriority(g *graph.TaskGraph, priority []float64) []int {
+	rs := NewReadySet(g)
+	order := make([]int, 0, g.NumTasks())
+	for !rs.Empty() {
+		ready := rs.Ready()
+		best := ready[0]
+		for _, t := range ready[1:] {
+			if priority[t] > priority[best] {
+				best = t
+			}
+		}
+		order = append(order, best)
+		rs.Complete(best)
+	}
+	if len(order) != g.NumTasks() {
+		panic("scheduler: TopoOrderByPriority on cyclic graph")
+	}
+	return order
+}
+
+// ReadySet maintains the frontier of schedulable tasks (all prerequisites
+// placed) for schedulers that make dynamic choices among ready tasks.
+type ReadySet struct {
+	g       *graph.TaskGraph
+	pending []int // remaining unplaced predecessor count per task
+	ready   []int // current frontier, kept sorted by task index
+}
+
+// NewReadySet builds the frontier for the graph: initially its source
+// tasks.
+func NewReadySet(g *graph.TaskGraph) *ReadySet {
+	rs := &ReadySet{g: g, pending: make([]int, g.NumTasks())}
+	for t := 0; t < g.NumTasks(); t++ {
+		rs.pending[t] = len(g.Pred[t])
+		if rs.pending[t] == 0 {
+			rs.ready = append(rs.ready, t)
+		}
+	}
+	return rs
+}
+
+// Ready returns the current frontier (sorted by task index). The slice is
+// owned by the set; callers must not mutate it.
+func (rs *ReadySet) Ready() []int { return rs.ready }
+
+// Empty reports whether no tasks remain ready.
+func (rs *ReadySet) Empty() bool { return len(rs.ready) == 0 }
+
+// Uncomplete reverses Complete(t): successors that became ready when t
+// completed leave the frontier and t rejoins it. It is used by
+// backtracking searches (package exact). The caller must undo completions
+// in LIFO order relative to Complete calls.
+func (rs *ReadySet) Uncomplete(t int) {
+	for _, d := range rs.g.Succ[t] {
+		if rs.pending[d.To] == 0 {
+			for i, x := range rs.ready {
+				if x == d.To {
+					rs.ready = append(rs.ready[:i], rs.ready[i+1:]...)
+					break
+				}
+			}
+		}
+		rs.pending[d.To]++
+	}
+	i := sort.SearchInts(rs.ready, t)
+	rs.ready = append(rs.ready, 0)
+	copy(rs.ready[i+1:], rs.ready[i:])
+	rs.ready[i] = t
+}
+
+// Complete marks task t as placed, removing it from the frontier and
+// adding any newly ready successors.
+func (rs *ReadySet) Complete(t int) {
+	for i, x := range rs.ready {
+		if x == t {
+			rs.ready = append(rs.ready[:i], rs.ready[i+1:]...)
+			break
+		}
+	}
+	for _, d := range rs.g.Succ[t] {
+		rs.pending[d.To]--
+		if rs.pending[d.To] == 0 {
+			// Insert keeping the frontier sorted for determinism.
+			i := sort.SearchInts(rs.ready, d.To)
+			rs.ready = append(rs.ready, 0)
+			copy(rs.ready[i+1:], rs.ready[i:])
+			rs.ready[i] = d.To
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package schedulers
+
+import (
+	"math"
+
+	"saga/internal/graph"
+	"saga/internal/schedule"
+	"saga/internal/scheduler"
+)
+
+func init() {
+	scheduler.Register("BIL", func() scheduler.Scheduler { return BIL{} })
+}
+
+// BIL is the Best Imaginary Level scheduler of Oh & Ha, designed for the
+// unrelated machines model (strictly more general than the related
+// machines model studied here) and proven optimal on linear graphs.
+//
+// The best imaginary level of task t on node v is computed bottom-up:
+//
+//	BIL(t, v) = exec(t, v) + max over successors s of
+//	            min( BIL(s, v),
+//	                 min over v'≠v ( BIL(s, v') + comm(t, s, v, v') ) )
+//
+// i.e. the optimistic remaining makespan if t runs on v and each
+// successor chain either stays on v (no communication) or moves once.
+//
+// At each step the ready task with the highest criticality — here the
+// maximum over nodes of its best imaginary makespan
+// BIM(t, v) = EST(t, v) + BIL(t, v) — is selected, and placed on the node
+// minimizing the revised measure
+//
+//	BIM*(t, v) = BIM(t, v) + exec(t, v) · max(k/|V| − 1, 0)
+//
+// where k is the number of currently ready tasks; the adjustment penalizes
+// hoarding fast nodes when more tasks are ready than nodes exist, per the
+// original paper. Scheduling complexity is O(|T|^2 |V| log |V|).
+//
+// BIL was analyzed by PISA with homogeneous communication links (link
+// strengths pinned to 1, Section VI).
+type BIL struct{}
+
+// Name implements scheduler.Scheduler.
+func (BIL) Name() string { return "BIL" }
+
+// Requirements implements scheduler.Constrained: homogeneous links.
+func (BIL) Requirements() scheduler.Requirements {
+	return scheduler.Requirements{HomogeneousLinks: true}
+}
+
+// bilLevels computes BIL(t, v) for every task and node, bottom-up in
+// reverse topological order.
+func bilLevels(inst *graph.Instance) [][]float64 {
+	g := inst.Graph
+	nNodes := inst.Net.NumNodes()
+	bil := make([][]float64, g.NumTasks())
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic("schedulers: BIL on cyclic graph: " + err.Error())
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		t := order[i]
+		bil[t] = make([]float64, nNodes)
+		for v := 0; v < nNodes; v++ {
+			level := 0.0
+			for _, d := range g.Succ[t] {
+				s := d.To
+				best := bil[s][v] // stay on v: no communication
+				for v2 := 0; v2 < nNodes; v2++ {
+					if v2 == v {
+						continue
+					}
+					cand := bil[s][v2] + inst.CommTime(t, s, v, v2)
+					if cand < best {
+						best = cand
+					}
+				}
+				if best > level {
+					level = best
+				}
+			}
+			bil[t][v] = inst.ExecTime(t, v) + level
+		}
+	}
+	return bil
+}
+
+// Schedule implements scheduler.Scheduler.
+func (BIL) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	b := schedule.NewBuilder(inst)
+	bil := bilLevels(inst)
+	nNodes := inst.Net.NumNodes()
+	rs := scheduler.NewReadySet(inst.Graph)
+	for !rs.Empty() {
+		ready := rs.Ready()
+		k := float64(len(ready))
+
+		// Select the ready task with the highest criticality: the largest
+		// best imaginary makespan over nodes.
+		bestTask, bestCrit := -1, math.Inf(-1)
+		for _, t := range ready {
+			crit := math.Inf(-1)
+			for v := 0; v < nNodes; v++ {
+				s, _, ok := b.EFT(t, v, false)
+				if !ok {
+					panic("schedulers: BIL ready task with unplaced predecessor")
+				}
+				if bim := s + bil[t][v]; bim > crit {
+					crit = bim
+				}
+			}
+			if crit > bestCrit+graph.Eps {
+				bestTask, bestCrit = t, crit
+			}
+		}
+
+		// Place it on the node minimizing the revised imaginary makespan.
+		adjust := math.Max(k/float64(nNodes)-1, 0)
+		bestNode, bestStart, bestBIM := -1, 0.0, math.Inf(1)
+		for v := 0; v < nNodes; v++ {
+			s, _, _ := b.EFT(bestTask, v, false)
+			bim := s + bil[bestTask][v] + inst.ExecTime(bestTask, v)*adjust
+			if bim < bestBIM-graph.Eps {
+				bestNode, bestStart, bestBIM = v, s, bim
+			}
+		}
+		b.Place(bestTask, bestNode, bestStart)
+		rs.Complete(bestTask)
+	}
+	return b.Schedule()
+}

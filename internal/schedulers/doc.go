@@ -1,0 +1,48 @@
+// Package schedulers implements the 17 task scheduling algorithms listed
+// in Table I of the PISA paper: BIL, BruteForce, CPoP, Duplex, ETF,
+// FastestNode, FCP, FLB, GDL, HEFT, MaxMin, MCT, MET, MinMin, OLB, SMT,
+// and WBA.
+//
+// Every algorithm implements scheduler.Scheduler and registers itself
+// with the scheduler registry under its paper abbreviation. The 15
+// polynomial-time algorithms used in the paper's experiments are
+// available through Experimental; BruteForce and SMT (exponential time)
+// are registered but excluded, exactly as in the paper.
+package schedulers
+
+import "saga/internal/scheduler"
+
+// ExperimentalNames lists, in the paper's figure order, the 15 algorithms
+// used in the benchmarking (Fig 2) and adversarial (Fig 4) experiments.
+var ExperimentalNames = []string{
+	"BIL", "CPoP", "Duplex", "ETF", "FCP", "FLB", "FastestNode",
+	"GDL", "HEFT", "MCT", "MET", "MaxMin", "MinMin", "OLB", "WBA",
+}
+
+// AppSpecificNames lists the 6 schedulers used in the Section VII
+// application-specific experiments (Figs 10-19).
+var AppSpecificNames = []string{
+	"CPoP", "FastestNode", "HEFT", "MaxMin", "MinMin", "WBA",
+}
+
+// Experimental instantiates the 15 experiment algorithms in paper order.
+func Experimental() []scheduler.Scheduler {
+	return instantiate(ExperimentalNames)
+}
+
+// AppSpecific instantiates the 6 Section VII algorithms.
+func AppSpecific() []scheduler.Scheduler {
+	return instantiate(AppSpecificNames)
+}
+
+func instantiate(names []string) []scheduler.Scheduler {
+	out := make([]scheduler.Scheduler, len(names))
+	for i, n := range names {
+		s, err := scheduler.New(n)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package schedulers
+
+import (
+	"testing"
+
+	"saga/internal/graph"
+	"saga/internal/scheduler"
+)
+
+// Behavioral tests for the dynamic-selection schedulers: ETF, GDL,
+// FCP/FLB and the MinMin/MaxMin pair. Each pins the published property
+// that distinguishes the algorithm from its neighbours.
+
+func TestETFStartOrientedVsHEFTFinishOriented(t *testing.T) {
+	// One ready task, two nodes: slow node idle (start 0), fast node
+	// busy until 1. Starting at 0 on the slow node finishes at 10;
+	// waiting for the fast node finishes at 1 + 10/10 = 2. ETF picks the
+	// earliest *start* (slow node), HEFT the earliest *finish* (fast
+	// node) — the exact difference Section IV-A highlights.
+	build := func() (*graph.Instance, int, int) {
+		g := graph.NewTaskGraph()
+		blocker := g.AddTask("blocker", 10) // occupies the fast node
+		task := g.AddTask("task", 10)
+		net := graph.NewNetwork(2)
+		net.Speeds[1] = 10 // blocker runs 1s there
+		return graph.NewInstance(g, net), blocker, task
+	}
+
+	inst, blocker, task := build()
+	etf, _ := scheduler.New("ETF")
+	// ETF is pinned to homogeneous nodes by PISA but handles
+	// heterogeneous ones; this test uses heterogeneity deliberately.
+	es, err := etf.Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ETF places both at start 0 on different nodes (both have EST 0).
+	if es.ByTask[blocker].Start != 0 || es.ByTask[task].Start != 0 {
+		t.Fatalf("ETF starts: blocker %v, task %v — both should be 0",
+			es.ByTask[blocker].Start, es.ByTask[task].Start)
+	}
+
+	inst2, blocker2, task2 := build()
+	heft, _ := scheduler.New("HEFT")
+	hs, err := heft.Schedule(inst2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HEFT puts both on the fast node (finish-time greedy): blocker
+	// first (higher rank), then task at 1.
+	if hs.ByTask[blocker2].Node != 1 || hs.ByTask[task2].Node != 1 {
+		t.Fatalf("HEFT nodes: blocker %d, task %d — both should be the fast node",
+			hs.ByTask[blocker2].Node, hs.ByTask[task2].Node)
+	}
+}
+
+func TestGDLSpeedAdvantageTerm(t *testing.T) {
+	// Two idle nodes with speeds 1 and 4, one unit task: both ESTs are
+	// 0, so the Δ(t, v) = E*(t) − exec(t, v) term must steer GDL to the
+	// fast node.
+	g := graph.NewTaskGraph()
+	tk := g.AddTask("t", 1)
+	net := graph.NewNetwork(2)
+	net.Speeds[1] = 4
+	inst := graph.NewInstance(g, net)
+	gdl, _ := scheduler.New("GDL")
+	gs, err := gdl.Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.ByTask[tk].Node != 1 {
+		t.Fatalf("GDL ignored the speed-advantage term (node %d)", gs.ByTask[tk].Node)
+	}
+}
+
+func TestGDLPrioritizesHighStaticLevel(t *testing.T) {
+	// A long chain head and an isolated task are both ready; the chain
+	// head has the larger static level and must be committed first on a
+	// single-node network.
+	g := graph.NewTaskGraph()
+	head := g.AddTask("head", 1)
+	mid := g.AddTask("mid", 1)
+	tail := g.AddTask("tail", 1)
+	g.MustAddDep(head, mid, 0)
+	g.MustAddDep(mid, tail, 0)
+	iso := g.AddTask("iso", 1)
+	inst := graph.NewInstance(g, graph.NewNetwork(1))
+	gdl, _ := scheduler.New("GDL")
+	gs, err := gdl.Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.ByTask[head].Start > gs.ByTask[iso].Start+graph.Eps {
+		t.Fatalf("GDL ran the isolated task (%v) before the chain head (%v)",
+			gs.ByTask[iso].Start, gs.ByTask[head].Start)
+	}
+}
+
+func TestFCPRestrictedProcessorChoice(t *testing.T) {
+	// Three nodes; a producer on node 0 with a heavy output. The
+	// consumer's candidates are only {earliest-idle node, enabling node
+	// 0}. Make node 2 globally best but neither earliest-idle nor
+	// enabling: FCP must not discover it. Homogeneous speeds/links per
+	// FCP's design; we force the earliest-idle node to be node 1 by
+	// pre-loading node 2 via an independent task.
+	g := graph.NewTaskGraph()
+	prod := g.AddTask("prod", 1)
+	pad := g.AddTask("pad", 2) // occupies some node early
+	cons := g.AddTask("cons", 1)
+	g.MustAddDep(prod, cons, 5)
+	inst := graph.NewInstance(g, graph.NewNetwork(3))
+
+	fcp, _ := scheduler.New("FCP")
+	fs, err := fcp.Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	consNode := fs.ByTask[cons].Node
+	prodNode := fs.ByTask[prod].Node
+	padNode := fs.ByTask[pad].Node
+	// The consumer must sit on the enabling node (data locality) or the
+	// earliest-idle node — with three nodes and two other tasks, the one
+	// node holding neither prod nor pad is earliest-idle.
+	earliestIdle := 3 - prodNode - padNode
+	if consNode != prodNode && consNode != earliestIdle {
+		t.Fatalf("FCP used node %d outside its candidate set {%d, %d}",
+			consNode, prodNode, earliestIdle)
+	}
+}
+
+func TestFLBPicksSmallestEFTReadyTask(t *testing.T) {
+	// Two ready tasks, one tiny and one huge, single node: FLB (load
+	// balancing) commits the task with the earliest finish first — the
+	// tiny one — where FCP (critical path) runs the huge one first.
+	g := graph.NewTaskGraph()
+	huge := g.AddTask("huge", 10)
+	tiny := g.AddTask("tiny", 1)
+	inst := graph.NewInstance(g, graph.NewNetwork(1))
+
+	flb, _ := scheduler.New("FLB")
+	ls, err := flb.Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.ByTask[tiny].Start > ls.ByTask[huge].Start+graph.Eps {
+		t.Fatal("FLB did not run the earliest-finishing ready task first")
+	}
+
+	fcp, _ := scheduler.New("FCP")
+	fs, err := fcp.Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.ByTask[huge].Start > fs.ByTask[tiny].Start+graph.Eps {
+		t.Fatal("FCP did not follow the higher upward rank first")
+	}
+}
+
+func TestMinMinMaxMinSelectionOrder(t *testing.T) {
+	// Independent tasks with costs 1, 5, 9 on one node. MinMin commits
+	// smallest-MCT first: 1, 5, 9. MaxMin commits largest first: 9, 5, 1.
+	g := graph.NewTaskGraph()
+	t1 := g.AddTask("t1", 1)
+	t5 := g.AddTask("t5", 5)
+	t9 := g.AddTask("t9", 9)
+	inst := graph.NewInstance(g, graph.NewNetwork(1))
+
+	mn, _ := scheduler.New("MinMin")
+	ms, err := mn.Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ms.ByTask[t1].Start < ms.ByTask[t5].Start && ms.ByTask[t5].Start < ms.ByTask[t9].Start) {
+		t.Fatalf("MinMin order: %v, %v, %v", ms.ByTask[t1].Start, ms.ByTask[t5].Start, ms.ByTask[t9].Start)
+	}
+
+	mx, _ := scheduler.New("MaxMin")
+	xs, err := mx.Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(xs.ByTask[t9].Start < xs.ByTask[t5].Start && xs.ByTask[t5].Start < xs.ByTask[t1].Start) {
+		t.Fatalf("MaxMin order: %v, %v, %v", xs.ByTask[t9].Start, xs.ByTask[t5].Start, xs.ByTask[t1].Start)
+	}
+}
+
+func TestWBAZeroAlphaIsGreedy(t *testing.T) {
+	// With Alpha = 0 the restricted candidate list holds only
+	// minimum-increase options, so WBA becomes deterministic greedy up
+	// to ties; across seeds the makespan must not vary on a tie-free
+	// instance.
+	g := graph.NewTaskGraph()
+	g.AddTask("a", 3)
+	g.AddTask("b", 5)
+	net := graph.NewNetwork(2)
+	net.Speeds[1] = 2
+	inst := graph.NewInstance(g, net)
+	var first float64
+	for seed := uint64(1); seed <= 5; seed++ {
+		w := WBA{Seed: seed, Rounds: 1, Alpha: 0}
+		s, err := w.Schedule(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seed == 1 {
+			first = s.Makespan()
+			continue
+		}
+		if s.Makespan() != first {
+			t.Fatalf("greedy WBA varied across seeds: %v vs %v", s.Makespan(), first)
+		}
+	}
+}

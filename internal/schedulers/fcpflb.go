@@ -1,0 +1,136 @@
+package schedulers
+
+import (
+	"math"
+
+	"saga/internal/graph"
+	"saga/internal/schedule"
+	"saga/internal/scheduler"
+)
+
+func init() {
+	scheduler.Register("FCP", func() scheduler.Scheduler { return FCP{} })
+	scheduler.Register("FLB", func() scheduler.Scheduler { return FLB{} })
+}
+
+// candidateNodes returns the FCP/FLB restricted processor set for ready
+// task t: the node that becomes idle earliest and the enabling processor
+// (the node running the predecessor whose message would arrive last —
+// placing t there makes that transfer free). The two may coincide; for
+// entry tasks only the earliest-idle node is returned.
+func candidateNodes(b *schedule.Builder, t int) []int {
+	idle, idleAt := 0, math.Inf(1)
+	for v := 0; v < b.Instance().Net.NumNodes(); v++ {
+		if a := b.NodeAvailable(v); a < idleAt-graph.Eps {
+			idle, idleAt = v, a
+		}
+	}
+	out := []int{idle}
+	// The enabling processor is defined relative to receiving the data on
+	// the earliest-idle node.
+	if pred, _, ok := b.EnablingPredecessor(t, idle); ok {
+		ep := b.Assignment(pred).Node
+		if ep != idle {
+			out = append(out, ep)
+		}
+	}
+	return out
+}
+
+// bestCandidateEFT returns, among t's candidate nodes, the one with the
+// earliest finish time.
+func bestCandidateEFT(b *schedule.Builder, t int) (node int, start, finish float64) {
+	node, start, finish = -1, 0, math.Inf(1)
+	for _, v := range candidateNodes(b, t) {
+		s, f, ok := b.EFT(t, v, false)
+		if !ok {
+			panic("schedulers: FCP/FLB ready task with unplaced predecessor")
+		}
+		if f < finish-graph.Eps {
+			node, start, finish = v, s, f
+		}
+	}
+	return node, start, finish
+}
+
+// FCP is Fast Critical Path (Radulescu & van Gemund). It keeps the ready
+// tasks in a priority queue ordered by static upward rank and, rather
+// than scanning every processor, considers only two candidates per task:
+// the processor that becomes idle first and the enabling processor (the
+// source of the task's last-arriving message). The task is placed on
+// whichever candidate finishes it earlier. This restriction is what gives
+// FCP its O(|T| log |V| + |D|) schedule-generation time.
+//
+// FCP was designed for heterogeneous task graphs but homogeneous
+// processors and links; PISA pins both node speeds and link strengths to
+// 1 when analyzing it (Section VI).
+type FCP struct{}
+
+// Name implements scheduler.Scheduler.
+func (FCP) Name() string { return "FCP" }
+
+// Requirements implements scheduler.Constrained: fully homogeneous
+// network.
+func (FCP) Requirements() scheduler.Requirements {
+	return scheduler.Requirements{HomogeneousNodes: true, HomogeneousLinks: true}
+}
+
+// Schedule implements scheduler.Scheduler.
+func (FCP) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	b := schedule.NewBuilder(inst)
+	rank := scheduler.UpwardRank(inst)
+	rs := scheduler.NewReadySet(inst.Graph)
+	for !rs.Empty() {
+		// Pop the highest-priority ready task.
+		ready := rs.Ready()
+		t := ready[0]
+		for _, x := range ready[1:] {
+			if rank[x] > rank[t]+graph.Eps {
+				t = x
+			}
+		}
+		v, start, _ := bestCandidateEFT(b, t)
+		b.Place(t, v, start)
+		rs.Complete(t)
+	}
+	return b.Schedule()
+}
+
+// FLB is Fast Load Balancing (Radulescu & van Gemund), FCP's companion
+// algorithm from the same paper. It uses the same two-candidate processor
+// restriction but selects, at each step, the ready task whose restricted
+// earliest finish time is smallest — balancing load instead of following
+// the critical path. Its schedule-generation time is likewise
+// O(|T| log |V| + |D|).
+//
+// Like FCP it targets homogeneous processors and links, and PISA pins
+// both to 1 when analyzing it (Section VI).
+type FLB struct{}
+
+// Name implements scheduler.Scheduler.
+func (FLB) Name() string { return "FLB" }
+
+// Requirements implements scheduler.Constrained: fully homogeneous
+// network.
+func (FLB) Requirements() scheduler.Requirements {
+	return scheduler.Requirements{HomogeneousNodes: true, HomogeneousLinks: true}
+}
+
+// Schedule implements scheduler.Scheduler.
+func (FLB) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	b := schedule.NewBuilder(inst)
+	rs := scheduler.NewReadySet(inst.Graph)
+	for !rs.Empty() {
+		bestTask, bestNode := -1, -1
+		bestStart, bestFinish := 0.0, math.Inf(1)
+		for _, t := range rs.Ready() {
+			v, s, f := bestCandidateEFT(b, t)
+			if f < bestFinish-graph.Eps {
+				bestTask, bestNode, bestStart, bestFinish = t, v, s, f
+			}
+		}
+		b.Place(bestTask, bestNode, bestStart)
+		rs.Complete(bestTask)
+	}
+	return b.Schedule()
+}

@@ -1,0 +1,34 @@
+package schedulers
+
+import (
+	"saga/internal/graph"
+	"saga/internal/schedule"
+	"saga/internal/scheduler"
+)
+
+func init() {
+	scheduler.Register("HEFT", func() scheduler.Scheduler { return HEFT{} })
+}
+
+// HEFT is the Heterogeneous Earliest Finish Time list scheduler of
+// Topcuoglu, Hariri & Wu. Tasks are prioritized by upward rank — the
+// length, in average execution and communication time, of the longest
+// chain from the task to a sink — and greedily placed, in decreasing
+// rank order, on the node that minimizes their earliest finish time,
+// considering insertion into idle gaps. Scheduling complexity is
+// O(|T|^2 |V|).
+type HEFT struct{}
+
+// Name implements scheduler.Scheduler.
+func (HEFT) Name() string { return "HEFT" }
+
+// Schedule implements scheduler.Scheduler.
+func (HEFT) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	b := schedule.NewBuilder(inst)
+	rank := scheduler.UpwardRank(inst)
+	for _, t := range scheduler.TopoOrderByPriority(inst.Graph, rank) {
+		v, start := b.BestEFTNode(t, true)
+		b.Place(t, v, start)
+	}
+	return b.Schedule()
+}

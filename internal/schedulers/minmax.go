@@ -1,0 +1,111 @@
+package schedulers
+
+import (
+	"math"
+
+	"saga/internal/graph"
+	"saga/internal/schedule"
+	"saga/internal/scheduler"
+)
+
+func init() {
+	scheduler.Register("MinMin", func() scheduler.Scheduler { return MinMin{} })
+	scheduler.Register("MaxMin", func() scheduler.Scheduler { return MaxMin{} })
+	scheduler.Register("Duplex", func() scheduler.Scheduler { return Duplex{} })
+}
+
+// minCompletion returns, for ready task t, the node minimizing its
+// completion time given previous decisions, the corresponding start time,
+// and that minimum completion time.
+func minCompletion(b *schedule.Builder, t int) (node int, start, finish float64) {
+	node, start, finish = -1, 0, math.Inf(1)
+	for v := 0; v < b.Instance().Net.NumNodes(); v++ {
+		s, f, ok := b.EFT(t, v, false)
+		if !ok {
+			panic("schedulers: minCompletion on non-ready task")
+		}
+		if f < finish-graph.Eps {
+			node, start, finish = v, s, f
+		}
+	}
+	return node, start, finish
+}
+
+// minMinSchedule runs the MinMin/MaxMin iteration: repeatedly compute
+// each ready task's minimum completion time over all nodes, then commit
+// the task selected by pickMax (largest MCT for MaxMin, smallest for
+// MinMin) to its minimizing node.
+func minMinSchedule(inst *graph.Instance, pickMax bool) (*schedule.Schedule, error) {
+	b := schedule.NewBuilder(inst)
+	rs := scheduler.NewReadySet(inst.Graph)
+	for !rs.Empty() {
+		bestTask, bestNode := -1, -1
+		bestStart, bestMCT := 0.0, 0.0
+		for _, t := range rs.Ready() {
+			v, s, f := minCompletion(b, t)
+			better := bestTask == -1
+			if !better {
+				if pickMax {
+					better = f > bestMCT+graph.Eps
+				} else {
+					better = f < bestMCT-graph.Eps
+				}
+			}
+			if better {
+				bestTask, bestNode, bestStart, bestMCT = t, v, s, f
+			}
+		}
+		b.Place(bestTask, bestNode, bestStart)
+		rs.Complete(bestTask)
+	}
+	return b.Schedule()
+}
+
+// MinMin (Braun et al.) iteratively selects, among ready tasks, the one
+// with the smallest minimum completion time and assigns it to the
+// corresponding node. Scheduling complexity is O(|T|^2 |V|).
+type MinMin struct{}
+
+// Name implements scheduler.Scheduler.
+func (MinMin) Name() string { return "MinMin" }
+
+// Schedule implements scheduler.Scheduler.
+func (MinMin) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	return minMinSchedule(inst, false)
+}
+
+// MaxMin (Braun et al.) iteratively selects, among ready tasks, the one
+// with the largest minimum completion time and assigns it to the
+// corresponding node. Scheduling complexity is O(|T|^2 |V|).
+type MaxMin struct{}
+
+// Name implements scheduler.Scheduler.
+func (MaxMin) Name() string { return "MaxMin" }
+
+// Schedule implements scheduler.Scheduler.
+func (MaxMin) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	return minMinSchedule(inst, true)
+}
+
+// Duplex (Braun et al.) runs both MinMin and MaxMin and returns whichever
+// schedule has the smaller makespan.
+type Duplex struct{}
+
+// Name implements scheduler.Scheduler.
+func (Duplex) Name() string { return "Duplex" }
+
+// Schedule implements scheduler.Scheduler.
+func (Duplex) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	a, err := minMinSchedule(inst, false)
+	if err != nil {
+		return nil, err
+	}
+	b, err := minMinSchedule(inst, true)
+	if err != nil {
+		return nil, err
+	}
+	if b.Makespan() < a.Makespan() {
+		return b, nil
+	}
+	return a, nil
+}

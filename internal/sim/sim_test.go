@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"saga/internal/datasets"
+	"saga/internal/graph"
+	"saga/internal/rng"
+	"saga/internal/schedule"
+	"saga/internal/scheduler"
+	"saga/internal/schedulers"
+)
+
+// TestDifferentialAllSchedulers is the cross-check this package exists
+// for: for every algorithm and a spread of random instances, the
+// discrete-event execution must succeed and reproduce the analytic
+// start/finish times exactly.
+func TestDifferentialAllSchedulers(t *testing.T) {
+	r := rng.New(0x51D)
+	var instances []*graph.Instance
+	for i := 0; i < 15; i++ {
+		instances = append(instances, datasets.InitialPISAInstance(r.Split()))
+	}
+	// Add structured instances: workflows and figure examples.
+	instances = append(instances, datasets.Fig1Instance(), datasets.Fig3Instance(true))
+	for _, wf := range []string{"blast", "montage", "genome"} {
+		g, err := datasets.WorkflowRecipe(wf, r.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		net := graph.NewNetwork(4)
+		net.Speeds[1] = 2
+		instances = append(instances, graph.NewInstance(g, net))
+	}
+
+	for _, s := range schedulers.Experimental() {
+		for i, inst := range instances {
+			sch, err := s.Schedule(inst)
+			if err != nil {
+				t.Fatalf("%s on instance %d: %v", s.Name(), i, err)
+			}
+			res, err := Execute(inst, sch)
+			if err != nil {
+				t.Fatalf("%s on instance %d: simulation rejected schedule: %v", s.Name(), i, err)
+			}
+			for tk, a := range sch.ByTask {
+				if res.Start[tk] != a.Start || res.Finish[tk] != a.End {
+					t.Fatalf("%s instance %d task %d: simulated [%v,%v], analytic [%v,%v]",
+						s.Name(), i, tk, res.Start[tk], res.Finish[tk], a.Start, a.End)
+				}
+			}
+			if !graph.ApproxEq(res.Makespan, sch.Makespan()) {
+				t.Fatalf("%s instance %d: simulated makespan %v != analytic %v",
+					s.Name(), i, res.Makespan, sch.Makespan())
+			}
+		}
+	}
+}
+
+func fig1Schedule(t *testing.T, name string) (*graph.Instance, *schedule.Schedule) {
+	t.Helper()
+	inst := datasets.Fig1Instance()
+	s, err := scheduler.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := s.Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst, sch
+}
+
+func TestExecuteRejectsEarlyStart(t *testing.T) {
+	inst, sch := fig1Schedule(t, "HEFT")
+	// Pull a non-source task earlier than its inputs can arrive.
+	for tk := range sch.ByTask {
+		if len(inst.Graph.Pred[tk]) > 0 {
+			d := sch.ByTask[tk].End - sch.ByTask[tk].Start
+			sch.ByTask[tk].Start = 0
+			sch.ByTask[tk].End = d
+			break
+		}
+	}
+	if _, err := Execute(inst, sch); err == nil {
+		t.Fatal("early start accepted")
+	} else if !strings.Contains(err.Error(), "inputs delivered") && !strings.Contains(err.Error(), "busy") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestExecuteRejectsNodeOverlap(t *testing.T) {
+	// Two independent tasks forced onto one node at the same time.
+	g := graph.NewTaskGraph()
+	g.AddTask("a", 2)
+	g.AddTask("b", 2)
+	inst := graph.NewInstance(g, graph.NewNetwork(1))
+	sch := &schedule.Schedule{
+		NumNodes: 1,
+		ByTask: []schedule.Assignment{
+			{Task: 0, Node: 0, Start: 0, End: 2},
+			{Task: 1, Node: 0, Start: 1, End: 3},
+		},
+	}
+	if _, err := Execute(inst, sch); err == nil {
+		t.Fatal("overlapping execution accepted")
+	}
+}
+
+func TestExecuteRejectsShapeMismatches(t *testing.T) {
+	inst, sch := fig1Schedule(t, "HEFT")
+	bad := &schedule.Schedule{NumNodes: sch.NumNodes}
+	if _, err := Execute(inst, bad); err == nil {
+		t.Fatal("task-count mismatch accepted")
+	}
+	sch2 := &schedule.Schedule{NumNodes: 99, ByTask: sch.ByTask}
+	if _, err := Execute(inst, sch2); err == nil {
+		t.Fatal("node-count mismatch accepted")
+	}
+	sch3 := &schedule.Schedule{NumNodes: sch.NumNodes, ByTask: append([]schedule.Assignment(nil), sch.ByTask...)}
+	sch3.ByTask[0].Node = -1
+	if _, err := Execute(inst, sch3); err == nil {
+		t.Fatal("invalid node accepted")
+	}
+}
+
+func TestMessageCounting(t *testing.T) {
+	// Chain a→b across two nodes: exactly one remote message; same node:
+	// zero.
+	g := graph.NewTaskGraph()
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 1)
+	g.MustAddDep(a, b, 2)
+	net := graph.NewNetwork(2)
+	net.SetLink(0, 1, 1)
+	inst := graph.NewInstance(g, net)
+
+	remote := &schedule.Schedule{NumNodes: 2, ByTask: []schedule.Assignment{
+		{Task: 0, Node: 0, Start: 0, End: 1},
+		{Task: 1, Node: 1, Start: 3, End: 4}, // 1 + 2/1 = 3 arrival
+	}}
+	res, err := Execute(inst, remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 1 {
+		t.Fatalf("Messages = %d, want 1", res.Messages)
+	}
+	if res.LinkBusy[0][1] != 2 {
+		t.Fatalf("LinkBusy = %v, want 2", res.LinkBusy[0][1])
+	}
+
+	local := &schedule.Schedule{NumNodes: 2, ByTask: []schedule.Assignment{
+		{Task: 0, Node: 0, Start: 0, End: 1},
+		{Task: 1, Node: 0, Start: 1, End: 2},
+	}}
+	res2, err := Execute(inst, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Messages != 0 {
+		t.Fatalf("local Messages = %d, want 0", res2.Messages)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	// FastestNode on a single-node network: utilization 1 (no idle).
+	g := graph.NewTaskGraph()
+	a := g.AddTask("a", 2)
+	b := g.AddTask("b", 3)
+	g.MustAddDep(a, b, 1)
+	inst := graph.NewInstance(g, graph.NewNetwork(1))
+	s, _ := scheduler.New("FastestNode")
+	sch, err := s.Schedule(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(inst, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.ApproxEq(res.Utilization(), 1) {
+		t.Fatalf("utilization = %v, want 1", res.Utilization())
+	}
+}
+
+func TestEventLogOrdering(t *testing.T) {
+	inst, sch := fig1Schedule(t, "CPoP")
+	res, err := Execute(inst, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Events); i++ {
+		if res.Events[i].Time < res.Events[i-1].Time-graph.Eps {
+			t.Fatalf("event log out of order at %d: %v after %v",
+				i, res.Events[i].Time, res.Events[i-1].Time)
+		}
+	}
+	// Every task contributes exactly one start and one finish.
+	starts, finishes := 0, 0
+	for _, e := range res.Events {
+		switch e.Kind {
+		case EventTaskStart:
+			starts++
+		case EventTaskFinish:
+			finishes++
+		}
+	}
+	if starts != inst.Graph.NumTasks() || finishes != inst.Graph.NumTasks() {
+		t.Fatalf("starts=%d finishes=%d, want %d each", starts, finishes, inst.Graph.NumTasks())
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EventTaskStart.String() != "task-start" ||
+		EventTaskFinish.String() != "task-finish" ||
+		EventMessageArrive.String() != "message-arrive" {
+		t.Fatal("EventKind.String broken")
+	}
+	if EventKind(42).String() == "" {
+		t.Fatal("unknown kind should still format")
+	}
+}
+
+// TestSimulatedAnnealingInstancesExecutable closes the loop with PISA:
+// adversarial instances found by the annealer yield schedules that the
+// simulator executes with matching makespans.
+func TestSimulatedAnnealingInstancesExecutable(t *testing.T) {
+	r := rng.New(0xADA)
+	for i := 0; i < 10; i++ {
+		inst := datasets.InitialPISAInstance(r.Split())
+		for _, name := range []string{"HEFT", "CPoP", "FastestNode"} {
+			s, _ := scheduler.New(name)
+			sch, err := s.Schedule(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Execute(inst, sch)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !graph.ApproxEq(res.Makespan, sch.Makespan()) {
+				t.Fatalf("%s: %v != %v", name, res.Makespan, sch.Makespan())
+			}
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package wfc
+
+import (
+	"strings"
+	"testing"
+
+	"saga/internal/datasets"
+	"saga/internal/graph"
+	"saga/internal/rng"
+)
+
+const fixture = `{
+  "name": "toy-blast",
+  "schemaVersion": "1.4",
+  "workflow": {
+    "tasks": [
+      {"name": "split", "id": "t0", "runtimeInSeconds": 5,
+       "files": [{"name": "chunk1", "link": "output", "sizeInBytes": 100},
+                 {"name": "chunk2", "link": "output", "sizeInBytes": 200}]},
+      {"name": "blast1", "id": "t1", "runtimeInSeconds": 50, "parents": ["t0"],
+       "files": [{"name": "chunk1", "link": "input", "sizeInBytes": 100},
+                 {"name": "hits1", "link": "output", "sizeInBytes": 30}]},
+      {"name": "blast2", "id": "t2", "runtimeInSeconds": 60, "parents": ["t0"],
+       "files": [{"name": "chunk2", "link": "input", "sizeInBytes": 200},
+                 {"name": "hits2", "link": "output", "sizeInBytes": 40}]},
+      {"name": "cat", "id": "t3", "runtimeInSeconds": 4, "parents": ["t1", "t2"],
+       "files": [{"name": "hits1", "link": "input", "sizeInBytes": 30},
+                 {"name": "hits2", "link": "input", "sizeInBytes": 40}]}
+    ],
+    "machines": [
+      {"nodeName": "m1", "speed": 1.0},
+      {"nodeName": "m2", "speed": 2.5}
+    ]
+  }
+}`
+
+func TestParseAndConvert(t *testing.T) {
+	inst, err := Parse([]byte(fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Name != "toy-blast" || len(inst.Workflow.Tasks) != 4 {
+		t.Fatalf("parsed %q with %d tasks", inst.Name, len(inst.Workflow.Tasks))
+	}
+	g, err := inst.ToTaskGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTasks() != 4 || g.NumDeps() != 4 {
+		t.Fatalf("graph has %d tasks, %d deps", g.NumTasks(), g.NumDeps())
+	}
+	// Dependency data sizes come from matched files.
+	if c, ok := g.DepCost(0, 1); !ok || c != 100 {
+		t.Fatalf("dep (split, blast1) = %v, want 100", c)
+	}
+	if c, ok := g.DepCost(0, 2); !ok || c != 200 {
+		t.Fatalf("dep (split, blast2) = %v, want 200", c)
+	}
+	if c, ok := g.DepCost(1, 3); !ok || c != 30 {
+		t.Fatalf("dep (blast1, cat) = %v, want 30", c)
+	}
+	if c, ok := g.DepCost(2, 3); !ok || c != 40 {
+		t.Fatalf("dep (blast2, cat) = %v, want 40", c)
+	}
+	if g.Tasks[2].Cost != 60 {
+		t.Fatalf("blast2 runtime = %v", g.Tasks[2].Cost)
+	}
+}
+
+func TestToNetwork(t *testing.T) {
+	inst, err := Parse([]byte(fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := inst.ToNetwork(10)
+	if net == nil || net.NumNodes() != 2 {
+		t.Fatalf("network = %+v", net)
+	}
+	if net.Speeds[1] != 2.5 {
+		t.Fatalf("speed = %v", net.Speeds[1])
+	}
+	if net.Links[0][1] != 10 {
+		t.Fatalf("link = %v", net.Links[0][1])
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// No machines → nil network.
+	empty := &Instance{Workflow: Workflow{Tasks: []Task{{ID: "a"}}}}
+	if empty.ToNetwork(1) != nil {
+		t.Fatal("machine-less instance produced a network")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse([]byte("{")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Parse([]byte(`{"workflow": {"tasks": []}}`)); err == nil {
+		t.Fatal("empty workflow accepted")
+	}
+}
+
+func TestToTaskGraphErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"unknown parent", `{"workflow":{"tasks":[
+			{"id":"a","runtimeInSeconds":1,"parents":["ghost"]}]}}`},
+		{"duplicate id", `{"workflow":{"tasks":[
+			{"id":"a","runtimeInSeconds":1},{"id":"a","runtimeInSeconds":1}]}}`},
+		{"negative runtime", `{"workflow":{"tasks":[
+			{"id":"a","runtimeInSeconds":-3}]}}`},
+		{"cyclic parents", `{"workflow":{"tasks":[
+			{"id":"a","runtimeInSeconds":1,"parents":["b"]},
+			{"id":"b","runtimeInSeconds":1,"parents":["a"]}]}}`},
+		{"anonymous task", `{"workflow":{"tasks":[{"runtimeInSeconds":1}]}}`},
+	}
+	for _, c := range cases {
+		inst, err := Parse([]byte(c.body))
+		if err != nil {
+			continue // parse-level rejection is fine too
+		}
+		if _, err := inst.ToTaskGraph(); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestRoundTripFromRecipes(t *testing.T) {
+	// Every workflow recipe must survive export → parse → convert with
+	// identical structure and weights.
+	r := rng.New(77)
+	for _, name := range datasets.WorkflowNames {
+		g, err := datasets.WorkflowRecipe(name, r.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := FromTaskGraph(name, g)
+		data, err := doc.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := Parse(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g2, err := parsed.ToTaskGraph()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g2.NumTasks() != g.NumTasks() || g2.NumDeps() != g.NumDeps() {
+			t.Fatalf("%s: structure changed: %d/%d tasks, %d/%d deps",
+				name, g2.NumTasks(), g.NumTasks(), g2.NumDeps(), g.NumDeps())
+		}
+		for tk := range g.Tasks {
+			if !graph.ApproxEq(g2.Tasks[tk].Cost, g.Tasks[tk].Cost) {
+				t.Fatalf("%s: task %d cost changed", name, tk)
+			}
+		}
+		for _, d := range g.Deps() {
+			want, _ := g.DepCost(d[0], d[1])
+			got, ok := g2.DepCost(d[0], d[1])
+			if !ok || !graph.ApproxEq(got, want) {
+				t.Fatalf("%s: dep (%d,%d) = %v, want %v", name, d[0], d[1], got, want)
+			}
+		}
+	}
+}
+
+func TestExportContainsSchemaVersion(t *testing.T) {
+	g := graph.NewTaskGraph()
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 2)
+	g.MustAddDep(a, b, 3)
+	doc := FromTaskGraph("tiny", g)
+	data, err := doc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"schemaVersion": "1.4"`) {
+		t.Fatalf("export missing schema version:\n%s", data)
+	}
+	if !strings.Contains(string(data), `"link": "output"`) {
+		t.Fatalf("export missing output file:\n%s", data)
+	}
+}
+
+func TestZeroSizeDependencyBecomesControlEdge(t *testing.T) {
+	g := graph.NewTaskGraph()
+	a := g.AddTask("a", 1)
+	b := g.AddTask("b", 2)
+	g.MustAddDep(a, b, 0) // control dependency, no data
+	doc := FromTaskGraph("ctl", g)
+	data, err := doc.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := parsed.ToTaskGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := g2.DepCost(0, 1); !ok || c != 0 {
+		t.Fatalf("control edge = %v (%v), want 0", c, ok)
+	}
+}
