@@ -16,6 +16,7 @@ import (
 	"saga/internal/experiments"
 	"saga/internal/graph"
 	"saga/internal/rng"
+	"saga/internal/runner"
 	"saga/internal/schedule"
 	"saga/internal/scheduler"
 	"saga/internal/schedulers"
@@ -445,6 +446,52 @@ func BenchmarkGAAdversarial(b *testing.B) {
 		if _, err := core.RunGA(heft, cpop, opts); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRunnerScaling tracks the parallel speedup of the runner
+// worker pool itself across worker counts on a fixed 32-cell sweep of
+// real scheduling work (HEFT on a montage workflow, re-instantiated per
+// cell exactly as the experiment drivers do).
+func BenchmarkRunnerScaling(b *testing.B) {
+	r := rng.New(51)
+	g, err := datasets.WorkflowRecipe("montage", r.Split())
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := graph.NewNetwork(6)
+	rr := r.Split()
+	for v := range net.Speeds {
+		net.Speeds[v] = rr.ClippedGaussian(1, 1.0/3, 0.2, 2)
+	}
+	inst := graph.NewInstance(g, net)
+	datasets.SetHomogeneousCCR(inst, 1)
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, err := runner.Map(32, runner.Options{Workers: workers}, func(k int) (float64, error) {
+					s, err := scheduler.New("HEFT")
+					if err != nil {
+						return 0, err
+					}
+					sch, err := s.Schedule(inst)
+					if err != nil {
+						return 0, err
+					}
+					return sch.Makespan(), nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out[0] <= 0 {
+					b.Fatal("empty cell result")
+				}
+			}
+		})
 	}
 }
 

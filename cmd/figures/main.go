@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"saga/internal/core"
 	"saga/internal/datasets"
@@ -25,8 +26,10 @@ import (
 	"saga/internal/graph"
 	"saga/internal/render"
 	"saga/internal/rng"
+	"saga/internal/runner"
 	"saga/internal/scheduler"
 	"saga/internal/schedulers"
+	"saga/internal/serialize"
 )
 
 var (
@@ -36,9 +39,24 @@ var (
 	flagRestarts = flag.Int("restarts", 3, "PISA restarts per pair (paper: 5)")
 	flagWorkflow = flag.String("workflow", "srasearch", "workflow for the appspecific command")
 	flagCCR      = flag.Float64("ccr", 0, "single CCR for appspecific (0 = all five levels)")
-	flagWorkers  = flag.Int("workers", 0, "parallel workers for fig2/fig4 (0 = GOMAXPROCS, 1 = sequential)")
+	flagWorkers  = flag.Int("workers", 0, "parallel workers for the experiment sweeps (0 = GOMAXPROCS, 1 = sequential)")
 	flagSVGDir   = flag.String("svgdir", "", "also write SVG renderings of grids and Gantt charts here")
+	flagProgress = flag.Bool("progress", false, "report sweep progress on stderr")
+	flagCkpt     = flag.String("checkpoint", "", "checkpoint file for fig4 (resume an interrupted PISA grid)")
 )
+
+// runnerOptions assembles the worker pool configuration shared by every
+// parallel sweep: the -workers bound and, with -progress, a stderr
+// ticker.
+func runnerOptions(label string) runner.Options {
+	opts := runner.Options{Workers: *flagWorkers}
+	if *flagProgress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "%s: %d/%d cells\n", label, done, total)
+		}
+	}
+	return opts
+}
 
 // writeSVG writes an SVG artifact when -svgdir is set.
 func writeSVG(name, content string) error {
@@ -136,7 +154,7 @@ func fig1() error {
 
 func fig2() error {
 	fmt.Println("== Fig 2: makespan ratios of 15 algorithms on 16 datasets ==")
-	res, err := experiments.BenchmarkingParallel(datasets.TableII, schedulers.Experimental(), *flagN, *flagSeed, *flagWorkers)
+	res, err := experiments.BenchmarkingRun(datasets.TableII, schedulers.Experimental(), *flagN, *flagSeed, runnerOptions("fig2"))
 	if err != nil {
 		return err
 	}
@@ -172,9 +190,29 @@ func fig3() error {
 func fig4() error {
 	fmt.Println("== Fig 4: pairwise PISA heatmap (15 x 15) ==")
 	opts := experiments.PairwiseOptions{Anneal: anneal()}
-	res, err := experiments.PairwisePISAParallel(schedulers.Experimental(), opts, *flagWorkers)
+	ro := runnerOptions("fig4")
+	var ckpt *serialize.Checkpoint
+	if *flagCkpt != "" {
+		ckpt = serialize.NewCheckpoint(*flagCkpt)
+		// Bind the store to this exact sweep — flags AND roster, since
+		// cell indices map to (target, base) pairs through the roster
+		// order — so resuming anything else fails loudly instead of
+		// mixing stale cells in.
+		ckpt.SetFingerprint(fmt.Sprintf("fig4 seed=%d iters=%d restarts=%d schedulers=%s",
+			*flagSeed, *flagIters, *flagRestarts, strings.Join(schedulers.ExperimentalNames, ",")))
+		ro.Checkpoint = ckpt
+	}
+	res, err := experiments.PairwisePISARun(schedulers.Experimental(), opts, ro)
 	if err != nil {
 		return err
+	}
+	if ckpt != nil {
+		// The grid is complete; a leftover store would otherwise shadow a
+		// future sweep at the same path. A failed cleanup is only worth a
+		// warning — the computed grid must still be rendered.
+		if err := ckpt.Remove(); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: fig4: checkpoint cleanup: %v\n", err)
+		}
 	}
 	rows := append([][]float64{res.Worst}, res.Ratios...)
 	rowLabels := append([]string{"Worst"}, res.Schedulers...)
@@ -214,7 +252,7 @@ func caseStudy(cmd string) error {
 func family(title string, gen func(*rng.RNG) *graph.Instance) error {
 	fmt.Println("== " + title + " ==")
 	scheds := []scheduler.Scheduler{mustSched("CPoP"), mustSched("HEFT")}
-	res, err := experiments.Family(gen, scheds, *flagN, *flagSeed)
+	res, err := experiments.FamilyRun(gen, scheds, *flagN, *flagSeed, runnerOptions("family"))
 	if err != nil {
 		return err
 	}
@@ -261,12 +299,12 @@ func appSpecific(workflow string) error {
 	}
 	scheds := schedulers.AppSpecific()
 	for _, ccr := range ccrs {
-		res, err := experiments.AppSpecific(scheds, experiments.AppSpecificOptions{
+		res, err := experiments.AppSpecificRun(scheds, experiments.AppSpecificOptions{
 			Workflow:           workflow,
 			CCR:                ccr,
 			BenchmarkInstances: *flagN,
 			Anneal:             anneal(),
-		})
+		}, runnerOptions("appspecific"))
 		if err != nil {
 			return err
 		}

@@ -79,8 +79,8 @@ commands:
   generate   -dataset <name> [-seed N] [-out file.json]
   schedule   -scheduler <name> -in file.json [-gantt]
   pisa       -target <name> -base <name> [-method sa|ga] [-iters N] [-restarts N] [-seed N] [-out file.json]
-  portfolio  -k N [-schedulers a,b,c] [-iters N] [-restarts N] [-seed N]
-  robustness -scheduler <name> -in file.json [-sigma F] [-n N] [-seed N]
+  portfolio  -k N [-schedulers a,b,c] [-iters N] [-restarts N] [-seed N] [-workers N]
+  robustness -scheduler <name> -in file.json [-sigma F] [-n N] [-seed N] [-workers N]
   convert    -from-wfc wf.json [-link F] [-ccr F] -out inst.json   (wfformat -> instance)
              -from-instance inst.json -out wf.json                 (instance -> wfformat)
   simulate   -scheduler <name> -in file.json [-contention]
@@ -247,6 +247,7 @@ func portfolioCmd(args []string) error {
 	iters := fs.Int("iters", 250, "PISA iterations per restart")
 	restarts := fs.Int("restarts", 2, "PISA restarts per pair")
 	seed := fs.Uint64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -262,13 +263,13 @@ func portfolioCmd(args []string) error {
 	opts.MaxIters = *iters
 	opts.Restarts = *restarts
 	opts.Seed = *seed
-	res, err := experiments.PairwisePISA(scheds, experiments.PairwiseOptions{Anneal: opts})
+	res, err := experiments.PairwisePISAParallel(scheds, experiments.PairwiseOptions{Anneal: opts}, *workers)
 	if err != nil {
 		return err
 	}
 	fmt.Println("pairwise PISA grid (row = base, column = analyzed):")
 	fmt.Print(render.Grid("", res.Schedulers, res.Schedulers, res.Ratios))
-	p, err := experiments.SelectPortfolio(res.Schedulers, res.Ratios, *k)
+	p, err := experiments.SelectPortfolioParallel(res.Schedulers, res.Ratios, *k, *workers)
 	if err != nil {
 		return err
 	}
@@ -284,6 +285,7 @@ func robustnessCmd(args []string) error {
 	sigma := fs.Float64("sigma", 0.2, "relative cost jitter (clipped gaussian sd)")
 	n := fs.Int("n", 100, "jitter samples")
 	seed := fs.Uint64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -298,7 +300,7 @@ func robustnessCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := experiments.Robustness(inst, s, *sigma, *n, *seed)
+	res, err := experiments.RobustnessParallel(inst, s, *sigma, *n, *seed, *workers)
 	if err != nil {
 		return err
 	}

@@ -50,7 +50,7 @@ func (r *BenchmarkResult) MaxGrid() [][]float64 {
 // Benchmarking reproduces Fig 2: run every scheduler on n instances of
 // each named dataset and record, per instance, the scheduler's makespan
 // ratio against the minimum makespan any scheduler achieved on that
-// instance. Schedulers that fail on an instance (none of the 15
+// instance. It is the sequential reference for BenchmarkingParallel. Schedulers that fail on an instance (none of the 15
 // experimental algorithms do) are skipped for that instance.
 func Benchmarking(datasetNames []string, scheds []scheduler.Scheduler, n int, seed uint64) (*BenchmarkResult, error) {
 	res := &BenchmarkResult{

@@ -34,7 +34,8 @@ type PairwiseOptions struct {
 // Per Section VI, each run restarts from random chain instances, and the
 // perturbation space is restricted to the homogeneity requirements of
 // the pair: if either scheduler was designed for homogeneous node
-// speeds (or links), those weights are pinned to 1.
+// speeds (or links), those weights are pinned to 1. It is the
+// sequential reference for PairwisePISAParallel.
 func PairwisePISA(scheds []scheduler.Scheduler, opts PairwiseOptions) (*PairwiseResult, error) {
 	n := len(scheds)
 	res := &PairwiseResult{

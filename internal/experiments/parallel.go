@@ -1,26 +1,118 @@
 package experiments
 
 import (
-	"runtime"
-	"sync"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
 
 	"saga/internal/core"
 	"saga/internal/datasets"
 	"saga/internal/graph"
+	"saga/internal/rng"
+	"saga/internal/runner"
 	"saga/internal/scheduler"
+	"saga/internal/serialize"
+	"saga/internal/stats"
 )
 
-// The pairwise PISA grid and the benchmarking sweep are embarrassingly
-// parallel: each (target, base) pair — and each dataset — is an
-// independent computation with its own derived random seed. The parallel
-// runners below fan the work out over a bounded worker pool and produce
-// results bit-identical to the sequential drivers: seeds are assigned by
-// cell position, never by completion order.
+// Every experiment driver in this package is a grid or sampling loop of
+// independent cells, so each has a parallel counterpart built on
+// runner.Map: seeds derive from cell position (runner.CellSeed or
+// pre-split rng sub-streams), results land by cell index, and schedulers
+// are re-instantiated from the registry per cell so no state is shared
+// between workers. The parallel results are bit-identical to the
+// sequential drivers for every worker count — the determinism suite in
+// determinism_test.go asserts it for all six.
+
+// freshSchedulers re-instantiates schedulers from the registry by name,
+// giving each worker its own copies (WBA carries a construction seed;
+// sharing one value is safe today, but fresh copies keep the drivers
+// correct for any future stateful scheduler).
+func freshSchedulers(names []string) ([]scheduler.Scheduler, error) {
+	out := make([]scheduler.Scheduler, len(names))
+	for i, n := range names {
+		s, err := scheduler.New(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// splitStreams pre-derives the n per-cell sub-streams the sequential
+// drivers draw lazily (one r.Split() per loop iteration), so parallel
+// cells consume exactly the stream their sequential position would.
+func splitStreams(seed uint64, n int) []*rng.RNG {
+	r := rng.New(seed)
+	subs := make([]*rng.RNG, n)
+	for i := range subs {
+		subs[i] = r.Split()
+	}
+	return subs
+}
+
+// pisaCell is one checkpointable unit of a PISA grid: the best ratio
+// plus the adversarial instance, serialized through package serialize so
+// infinite link strengths survive the JSON round trip.
+type pisaCell struct {
+	Ratio    float64         `json:"ratio"`
+	Instance json.RawMessage `json:"instance"`
+}
+
+// BenchmarkingParallel computes the same grid as Benchmarking using up
+// to workers goroutines (0 = GOMAXPROCS), one cell per dataset. Every
+// dataset draws its instances from the same root seed in both drivers,
+// so results are bit-identical to the sequential reference.
+func BenchmarkingParallel(datasetNames []string, scheds []scheduler.Scheduler, n int, seed uint64, workers int) (*BenchmarkResult, error) {
+	return BenchmarkingRun(datasetNames, scheds, n, seed, runner.Options{Workers: workers})
+}
+
+// BenchmarkingRun is BenchmarkingParallel with full runner control
+// (progress callbacks, checkpointing).
+func BenchmarkingRun(datasetNames []string, scheds []scheduler.Scheduler, n int, seed uint64, ro runner.Options) (*BenchmarkResult, error) {
+	res := &BenchmarkResult{
+		Datasets: datasetNames,
+		Cells:    map[string]map[string]BenchmarkCell{},
+	}
+	for _, s := range scheds {
+		res.Schedulers = append(res.Schedulers, s.Name())
+	}
+	cells, err := runner.Map(len(datasetNames), ro,
+		func(k int) (map[string]BenchmarkCell, error) {
+			local, err := freshSchedulers(res.Schedulers)
+			if err != nil {
+				return nil, err
+			}
+			sub, err := Benchmarking([]string{datasetNames[k]}, local, n, seed)
+			if err != nil {
+				return nil, err
+			}
+			return sub.Cells[datasetNames[k]], nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for k, cell := range cells {
+		res.Cells[datasetNames[k]] = cell
+	}
+	return res, nil
+}
 
 // PairwisePISAParallel computes the same grid as PairwisePISA using up
-// to workers goroutines (0 = GOMAXPROCS). Results are deterministic and
-// identical to the sequential driver for the same options.
+// to workers goroutines (0 = GOMAXPROCS). Each off-diagonal cell gets
+// the seed its sequential position implies, so results are deterministic
+// and identical to the sequential driver for the same options.
 func PairwisePISAParallel(scheds []scheduler.Scheduler, opts PairwiseOptions, workers int) (*PairwiseResult, error) {
+	return PairwisePISARun(scheds, opts, runner.Options{Workers: workers})
+}
+
+// PairwisePISARun is PairwisePISAParallel with full runner control:
+// progress callbacks and — because each cell of the full 15×15 grid is
+// an expensive annealing run — a checkpoint store for resumable sweeps
+// (pass serialize.NewCheckpoint).
+func PairwisePISARun(scheds []scheduler.Scheduler, opts PairwiseOptions, ro runner.Options) (*PairwiseResult, error) {
 	n := len(scheds)
 	res := &PairwiseResult{
 		Ratios:    make([][]float64, n),
@@ -37,165 +129,364 @@ func PairwisePISAParallel(scheds []scheduler.Scheduler, opts PairwiseOptions, wo
 			res.Ratios[i][j] = -1
 		}
 	}
-
-	type cell struct{ i, j int }
-	var cells []cell
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i != j {
-				cells = append(cells, cell{i, j})
-			}
-		}
+	if n < 2 {
+		return res, nil
 	}
 
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(cells) {
-		workers = len(cells)
-	}
-
-	// Seed each cell by its sequential position so parallel and serial
-	// runs agree. Schedulers may be stateful (WBA holds a seed but is
-	// re-created per goroutine via the registry) — instantiate fresh
-	// copies per worker to avoid sharing.
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int
-	)
 	baseSeed := opts.Anneal.Seed
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if firstErr != nil || next >= len(cells) {
-					mu.Unlock()
-					return
-				}
-				k := next
-				next++
-				mu.Unlock()
-
-				c := cells[k]
-				target, err := scheduler.New(res.Schedulers[c.j])
-				if err == nil {
-					var base scheduler.Scheduler
-					base, err = scheduler.New(res.Schedulers[c.i])
-					if err == nil {
-						ao := opts.Anneal
-						ao.Seed = baseSeed + uint64(k) + 1
-						ao.InitialInstance = datasets.InitialPISAInstance
-						ao.Perturb = pairPerturb(target, base)
-						var r *core.Result
-						r, err = core.Run(target, base, ao)
-						if err == nil {
-							mu.Lock()
-							res.Ratios[c.i][c.j] = r.BestRatio
-							res.Instances[c.i][c.j] = r.Best
-							mu.Unlock()
-							continue
-						}
-					}
-				}
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				return
-			}
-		}()
+	cells, err := runner.Map(n*(n-1), ro, func(k int) (pisaCell, error) {
+		i, j := runner.OffDiagonal(k, n)
+		target, err := scheduler.New(res.Schedulers[j])
+		if err != nil {
+			return pisaCell{}, err
+		}
+		base, err := scheduler.New(res.Schedulers[i])
+		if err != nil {
+			return pisaCell{}, err
+		}
+		ao := opts.Anneal
+		ao.Seed = runner.CellSeed(baseSeed, k)
+		ao.InitialInstance = datasets.InitialPISAInstance
+		ao.Perturb = pairPerturb(target, base)
+		r, err := core.Run(target, base, ao)
+		if err != nil {
+			return pisaCell{}, err
+		}
+		raw, err := serialize.MarshalInstance(r.Best)
+		if err != nil {
+			return pisaCell{}, err
+		}
+		return pisaCell{Ratio: r.BestRatio, Instance: raw}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	for j := 0; j < n; j++ {
-		for i := 0; i < n; i++ {
-			if i != j && res.Ratios[i][j] > res.Worst[j] {
-				res.Worst[j] = res.Ratios[i][j]
-			}
+	for k, c := range cells {
+		i, j := runner.OffDiagonal(k, n)
+		inst, err := serialize.UnmarshalInstance(c.Instance)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: cell (%d,%d): %w", i, j, err)
+		}
+		res.Ratios[i][j] = c.Ratio
+		res.Instances[i][j] = inst
+		if c.Ratio > res.Worst[j] {
+			res.Worst[j] = c.Ratio
 		}
 	}
 	return res, nil
 }
 
-// BenchmarkingParallel computes the same grid as Benchmarking with one
-// worker per dataset (bounded by workers; 0 = GOMAXPROCS). Instance
-// seeds derive from the dataset name position, so results match the
-// sequential driver.
-func BenchmarkingParallel(datasetNames []string, scheds []scheduler.Scheduler, n int, seed uint64, workers int) (*BenchmarkResult, error) {
-	res := &BenchmarkResult{
-		Datasets: datasetNames,
-		Cells:    map[string]map[string]BenchmarkCell{},
+// FamilyParallel computes the same result as Family using up to workers
+// goroutines (0 = GOMAXPROCS), one cell per sampled instance. The
+// schedulers must be registry-instantiable (every Table I algorithm is),
+// so each worker runs fresh copies.
+func FamilyParallel(gen func(*rng.RNG) *graph.Instance, scheds []scheduler.Scheduler, n int, seed uint64, workers int) (*FamilyResult, error) {
+	return FamilyRun(gen, scheds, n, seed, runner.Options{Workers: workers})
+}
+
+// FamilyRun is FamilyParallel with full runner control (progress
+// callbacks, checkpointing).
+func FamilyRun(gen func(*rng.RNG) *graph.Instance, scheds []scheduler.Scheduler, n int, seed uint64, ro runner.Options) (*FamilyResult, error) {
+	res := &FamilyResult{
+		Makespans: map[string][]float64{},
+		Summaries: map[string]stats.Summary{},
 	}
 	for _, s := range scheds {
 		res.Schedulers = append(res.Schedulers, s.Name())
 	}
-
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(datasetNames) {
-		workers = len(datasetNames)
-	}
-
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if firstErr != nil || next >= len(datasetNames) {
-					mu.Unlock()
-					return
-				}
-				k := next
-				next++
-				mu.Unlock()
-
-				ds := datasetNames[k]
-				// Fresh scheduler instances per dataset worker.
-				var local []scheduler.Scheduler
-				var err error
-				for _, name := range res.Schedulers {
-					var s scheduler.Scheduler
-					s, err = scheduler.New(name)
-					if err != nil {
-						break
-					}
-					local = append(local, s)
-				}
-				var sub *BenchmarkResult
-				if err == nil {
-					sub, err = Benchmarking([]string{ds}, local, n, seed)
-				}
-				mu.Lock()
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-				res.Cells[ds] = sub.Cells[ds]
-				mu.Unlock()
+	subs := splitStreams(seed, n)
+	cells, err := runner.Map(n, ro, func(k int) ([]float64, error) {
+		local, err := freshSchedulers(res.Schedulers)
+		if err != nil {
+			return nil, err
+		}
+		inst := gen(subs[k])
+		ms := make([]float64, len(local))
+		for i, s := range local {
+			sch, err := s.Schedule(inst)
+			if err != nil {
+				return nil, err
 			}
-		}()
+			ms[i] = sch.Makespan()
+		}
+		return ms, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	for _, ms := range cells {
+		for i, name := range res.Schedulers {
+			res.Makespans[name] = append(res.Makespans[name], ms[i])
+		}
 	}
+	for _, name := range res.Schedulers {
+		res.Summaries[name] = stats.Summarize(res.Makespans[name])
+	}
+	return res, nil
+}
+
+// robustCell is one jitter sample of a robustness sweep.
+type robustCell struct {
+	Static   float64 `json:"static"`
+	Adaptive float64 `json:"adaptive"`
+}
+
+// RobustnessParallel computes the same result as Robustness using up to
+// workers goroutines (0 = GOMAXPROCS), one cell per jitter sample. The
+// scheduler must be registry-instantiable so each worker re-plans with
+// its own copy.
+func RobustnessParallel(inst *graph.Instance, s scheduler.Scheduler, sigma float64, n int, seed uint64, workers int) (*RobustnessResult, error) {
+	nominal, err := s.Schedule(inst)
+	if err != nil {
+		return nil, err
+	}
+	res := &RobustnessResult{Scheduler: s.Name(), Nominal: nominal.Makespan()}
+	subs := splitStreams(seed, n)
+	cells, err := runner.Map(n, runner.Options{Workers: workers}, func(k int) (robustCell, error) {
+		local, err := scheduler.New(s.Name())
+		if err != nil {
+			return robustCell{}, err
+		}
+		j := Jitter(inst, sigma, subs[k])
+		m, err := Replay(j, nominal)
+		if err != nil {
+			return robustCell{}, err
+		}
+		re, err := local.Schedule(j)
+		if err != nil {
+			return robustCell{}, err
+		}
+		return robustCell{Static: m, Adaptive: re.Makespan()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	static := make([]float64, n)
+	adaptive := make([]float64, n)
+	for k, c := range cells {
+		static[k], adaptive[k] = c.Static, c.Adaptive
+	}
+	res.Static = stats.Summarize(static)
+	res.Adaptive = stats.Summarize(adaptive)
+	return res, nil
+}
+
+// minmax folds values into a running (min, max) pair.
+func minmax(lo, hi float64, vs ...float64) (float64, float64) {
+	for _, v := range vs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}
+
+// appBenchCell is one benchmarking instance of an application-specific
+// block: the per-scheduler ratios plus the observed weight ranges that
+// shape the structure-preserving perturbation space.
+type appBenchCell struct {
+	Ratios                       []float64
+	TaskLo, TaskHi, DepLo, DepHi float64
+	SpeedLo, SpeedHi             float64
+}
+
+// AppSpecificParallel computes the same result as AppSpecific using up
+// to workers goroutines (0 = GOMAXPROCS): the benchmarking instances and
+// the PISA pairs are both fanned out. Range merging uses min/max only,
+// so the assembled perturbation space — and with it every PISA cell — is
+// bit-identical to the sequential driver.
+func AppSpecificParallel(scheds []scheduler.Scheduler, opts AppSpecificOptions, workers int) (*AppSpecificResult, error) {
+	return AppSpecificRun(scheds, opts, runner.Options{Workers: workers})
+}
+
+// AppSpecificRun is AppSpecificParallel with runner progress reporting.
+// Checkpointing is rejected: the driver runs two sweeps (benchmarking,
+// then PISA) whose cell indices would collide in one store.
+func AppSpecificRun(scheds []scheduler.Scheduler, opts AppSpecificOptions, ro runner.Options) (*AppSpecificResult, error) {
+	if ro.Checkpoint != nil {
+		return nil, fmt.Errorf("experiments: AppSpecificRun does not support checkpointing")
+	}
+	n := len(scheds)
+	res := &AppSpecificResult{
+		Workflow:  opts.Workflow,
+		CCR:       opts.CCR,
+		Benchmark: make([]float64, n),
+		Ratios:    make([][]float64, n),
+		Instances: make([][]*graph.Instance, n),
+	}
+	for _, s := range scheds {
+		res.Schedulers = append(res.Schedulers, s.Name())
+	}
+	for i := range res.Ratios {
+		res.Ratios[i] = make([]float64, n)
+		res.Instances[i] = make([]*graph.Instance, n)
+		for j := range res.Ratios[i] {
+			res.Ratios[i][j] = -1
+		}
+	}
+
+	// Benchmarking row + observed weight ranges, one cell per instance.
+	nBench := opts.BenchmarkInstances
+	if nBench <= 0 {
+		nBench = 20
+	}
+	subs := splitStreams(opts.Anneal.Seed^0xA99, nBench)
+	benchCells, err := runner.Map(nBench, ro,
+		func(k int) (appBenchCell, error) {
+			local, err := freshSchedulers(res.Schedulers)
+			if err != nil {
+				return appBenchCell{}, err
+			}
+			inst := appInstance(opts.Workflow, opts.CCR, subs[k])
+			c := appBenchCell{
+				TaskLo: math.Inf(1), TaskHi: math.Inf(-1),
+				DepLo: math.Inf(1), DepHi: math.Inf(-1),
+				SpeedLo: math.Inf(1), SpeedHi: math.Inf(-1),
+			}
+			for _, t := range inst.Graph.Tasks {
+				c.TaskLo, c.TaskHi = minmax(c.TaskLo, c.TaskHi, t.Cost)
+			}
+			for _, succ := range inst.Graph.Succ {
+				for _, d := range succ {
+					c.DepLo, c.DepHi = minmax(c.DepLo, c.DepHi, d.Cost)
+				}
+			}
+			for _, sp := range inst.Net.Speeds {
+				c.SpeedLo, c.SpeedHi = minmax(c.SpeedLo, c.SpeedHi, sp)
+			}
+			ratios, err := MakespanRatioAgainstBest(inst, local)
+			if err != nil {
+				return appBenchCell{}, err
+			}
+			c.Ratios = make([]float64, len(local))
+			for i, s := range local {
+				c.Ratios[i] = ratios[s.Name()]
+			}
+			return c, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	taskRange := [2]float64{math.Inf(1), math.Inf(-1)}
+	depRange := [2]float64{math.Inf(1), math.Inf(-1)}
+	speedRange := [2]float64{math.Inf(1), math.Inf(-1)}
+	for _, c := range benchCells {
+		taskRange[0], taskRange[1] = minmax(taskRange[0], taskRange[1], c.TaskLo, c.TaskHi)
+		depRange[0], depRange[1] = minmax(depRange[0], depRange[1], c.DepLo, c.DepHi)
+		speedRange[0], speedRange[1] = minmax(speedRange[0], speedRange[1], c.SpeedLo, c.SpeedHi)
+		for j, v := range c.Ratios {
+			if v > res.Benchmark[j] {
+				res.Benchmark[j] = v
+			}
+		}
+	}
+
+	// PISA grid with the application-specific PERTURB implementation.
+	if n < 2 {
+		return res, nil
+	}
+	baseSeed := opts.Anneal.Seed
+	pisaCells, err := runner.Map(n*(n-1), ro,
+		func(k int) (pisaCell, error) {
+			i, j := runner.OffDiagonal(k, n)
+			base, err := scheduler.New(res.Schedulers[i])
+			if err != nil {
+				return pisaCell{}, err
+			}
+			target, err := scheduler.New(res.Schedulers[j])
+			if err != nil {
+				return pisaCell{}, err
+			}
+			ao := opts.Anneal
+			ao.Seed = runner.CellSeed(baseSeed, k)
+			ao.InitialInstance = func(rr *rng.RNG) *graph.Instance {
+				return appInstance(opts.Workflow, opts.CCR, rr)
+			}
+			ao.Perturb = core.PerturbOptions{
+				Step:              0.1,
+				TaskCost:          taskRange,
+				DepCost:           depRange,
+				Speed:             speedRange,
+				FixLinks:          true,
+				FixStructure:      true,
+				KeepPinnedWeights: true,
+			}
+			pr, err := core.Run(target, base, ao)
+			if err != nil {
+				return pisaCell{}, err
+			}
+			raw, err := serialize.MarshalInstance(pr.Best)
+			if err != nil {
+				return pisaCell{}, err
+			}
+			return pisaCell{Ratio: pr.BestRatio, Instance: raw}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for k, c := range pisaCells {
+		i, j := runner.OffDiagonal(k, n)
+		inst, err := serialize.UnmarshalInstance(c.Instance)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: cell (%d,%d): %w", i, j, err)
+		}
+		res.Ratios[i][j] = c.Ratio
+		res.Instances[i][j] = inst
+	}
+	return res, nil
+}
+
+// SelectPortfolioParallel computes the same result as SelectPortfolio
+// using up to workers goroutines (0 = GOMAXPROCS), one cell per smallest
+// portfolio member. Cells are merged in first-member order with the same
+// strict-improvement rule the sequential enumeration applies, so ties
+// resolve identically.
+func SelectPortfolioParallel(schedulers []string, ratios [][]float64, k, workers int) (*PortfolioResult, error) {
+	n := len(schedulers)
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("experiments: portfolio size %d outside [1, %d]", k, n)
+	}
+	if len(ratios) != n {
+		return nil, fmt.Errorf("experiments: ratio grid has %d rows for %d schedulers", len(ratios), n)
+	}
+	type candidate struct {
+		Members []int
+		Worst   float64
+	}
+	cells, err := runner.Map(n-k+1, runner.Options{Workers: workers}, func(j0 int) (candidate, error) {
+		best := candidate{Worst: math.Inf(1)}
+		subset := make([]int, k)
+		subset[0] = j0
+		var recurse func(start, depth int)
+		recurse = func(start, depth int) {
+			if depth == k {
+				if worst := subsetWorstRatio(ratios, subset); worst < best.Worst {
+					best.Members = append([]int(nil), subset...)
+					best.Worst = worst
+				}
+				return
+			}
+			for j := start; j <= n-(k-depth); j++ {
+				subset[depth] = j
+				recurse(j+1, depth+1)
+			}
+		}
+		recurse(j0+1, 1)
+		return best, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := candidate{Worst: math.Inf(1)}
+	for _, c := range cells {
+		if c.Worst < best.Worst {
+			best = c
+		}
+	}
+	res := &PortfolioResult{WorstRatio: best.Worst}
+	res.Members = make([]string, k)
+	for i, j := range best.Members {
+		res.Members[i] = schedulers[j]
+	}
+	sort.Strings(res.Members)
 	return res, nil
 }

@@ -27,7 +27,8 @@ type PortfolioResult struct {
 // scheduler never loses to itself).
 //
 // The scheduler count is small (15 in the paper), so exhaustive subset
-// enumeration is exact and cheap: C(15,3) = 455 candidates.
+// enumeration is exact and cheap: C(15,3) = 455 candidates. It is the
+// sequential reference for SelectPortfolioParallel.
 func SelectPortfolio(schedulers []string, ratios [][]float64, k int) (*PortfolioResult, error) {
 	n := len(schedulers)
 	if k <= 0 || k > n {
@@ -42,23 +43,7 @@ func SelectPortfolio(schedulers []string, ratios [][]float64, k int) (*Portfolio
 	var recurse func(start, depth int)
 	recurse = func(start, depth int) {
 		if depth == k {
-			worst := 0.0
-			for base := 0; base < n; base++ {
-				cell := math.Inf(1)
-				for _, j := range subset {
-					r := ratios[base][j]
-					if r < 0 {
-						r = 1 // self or unknown: no loss
-					}
-					if r < cell {
-						cell = r
-					}
-				}
-				if cell > worst {
-					worst = cell
-				}
-			}
-			if worst < best.WorstRatio {
+			if worst := subsetWorstRatio(ratios, subset); worst < best.WorstRatio {
 				members := make([]string, k)
 				for i, j := range subset {
 					members[i] = schedulers[j]
@@ -75,4 +60,27 @@ func SelectPortfolio(schedulers []string, ratios [][]float64, k int) (*Portfolio
 	recurse(0, 0)
 	sort.Strings(best.Members)
 	return best, nil
+}
+
+// subsetWorstRatio scores one candidate portfolio: the maximum over base
+// schedulers of the minimum member ratio. Diagonal and unknown cells
+// (< 0) count as ratio 1, since a scheduler never loses to itself.
+func subsetWorstRatio(ratios [][]float64, subset []int) float64 {
+	worst := 0.0
+	for base := range ratios {
+		cell := math.Inf(1)
+		for _, j := range subset {
+			r := ratios[base][j]
+			if r < 0 {
+				r = 1 // self or unknown: no loss
+			}
+			if r < cell {
+				cell = r
+			}
+		}
+		if cell > worst {
+			worst = cell
+		}
+	}
+	return worst
 }

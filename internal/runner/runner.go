@@ -1,0 +1,226 @@
+// Package runner is the bounded deterministic worker pool behind every
+// experiment sweep. The paper's evaluation grids — the (dataset ×
+// scheduler) benchmarking of Fig 2, the (target × base) PISA grids of
+// Figs 4 and 10-19, the family and robustness sampling loops — are
+// embarrassingly parallel, but trustworthy parallel evaluation must be
+// provably identical to the sequential reference. runner guarantees that
+// by construction:
+//
+//   - results are written by cell position, never by completion order;
+//   - random seeds are derived from cell position (CellSeed), so the
+//     stream a cell consumes does not depend on scheduling;
+//   - workers only contend for the next index, never for cell data.
+//
+// Consequently Map and Grid return bit-identical results for any worker
+// count, including 1, which the determinism suite in package experiments
+// asserts against the hand-written sequential drivers.
+//
+// Long sweeps can persist completed cells through the Checkpoint hook
+// (implemented by serialize.Checkpoint): each finished cell is stored as
+// JSON, and a resumed run skips every cell already on disk.
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Options configures a Map or Grid sweep.
+type Options struct {
+	// Workers bounds the number of concurrent goroutines. 0 (or any
+	// non-positive value) means GOMAXPROCS; 1 runs the cells strictly in
+	// order on the calling pattern of a sequential loop.
+	Workers int
+	// Progress, when non-nil, is called after every completed cell with
+	// the running completion count and the total cell count. Calls are
+	// serialized and done is strictly increasing.
+	Progress func(done, total int)
+	// Checkpoint, when non-nil, persists completed cells and seeds a
+	// resumed sweep: cells found in the store are decoded instead of
+	// recomputed. Cell results must round-trip through encoding/json.
+	Checkpoint Checkpoint
+}
+
+// Checkpoint is the persistence hook behind Options.Checkpoint.
+// serialize.Checkpoint is the file-backed implementation.
+type Checkpoint interface {
+	// Load returns the previously stored cells, keyed by cell index. A
+	// store that does not exist yet returns an empty (or nil) map.
+	Load() (map[int]json.RawMessage, error)
+	// Store records one completed cell. It may be called concurrently.
+	Store(index int, cell json.RawMessage) error
+	// Flush makes every stored cell durable.
+	Flush() error
+}
+
+// CellError reports the failure of one cell of a sweep. With more than
+// one worker several cells may fail before the pool stops; Map returns
+// the failure with the lowest cell index, which for one worker is
+// exactly the error the sequential loop would have returned.
+type CellError struct {
+	Index int
+	Err   error
+}
+
+// Error implements error.
+func (e *CellError) Error() string { return fmt.Sprintf("runner: cell %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying cell failure to errors.Is/As.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// CellSeed derives a cell's random seed from the sweep's base seed and
+// the cell's sequential position. It matches the seed sequence of the
+// sequential drivers (base+1 for the first cell, base+2 for the second,
+// ...), which is what makes parallel grids bit-identical to them.
+func CellSeed(base uint64, index int) uint64 {
+	return base + uint64(index) + 1
+}
+
+// OffDiagonal maps a sequential position k to the k-th off-diagonal cell
+// (i, j) of an n×n grid in row-major order — the enumeration every PISA
+// grid uses (the diagonal pits a scheduler against itself and is
+// skipped). There are n·(n-1) such cells.
+func OffDiagonal(k, n int) (i, j int) {
+	i = k / (n - 1)
+	j = k % (n - 1)
+	if j >= i {
+		j++
+	}
+	return i, j
+}
+
+// Map evaluates fn for every cell index in [0, n) using a bounded worker
+// pool and returns the results in index order. Panics inside fn are
+// recovered and reported as that cell's error. After the first failure
+// no new cells are dispatched; the lowest-indexed failure is returned as
+// a *CellError. Results are independent of Options.Workers.
+func Map[T any](n int, opts Options, fn func(index int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	done := make([]bool, n)
+	completed := 0
+	if opts.Checkpoint != nil {
+		cells, err := opts.Checkpoint.Load()
+		if err != nil {
+			return nil, fmt.Errorf("runner: checkpoint load: %w", err)
+		}
+		for k, raw := range cells {
+			if k < 0 || k >= n {
+				continue // a stale store from a differently-sized sweep
+			}
+			if err := json.Unmarshal(raw, &out[k]); err != nil {
+				return nil, fmt.Errorf("runner: checkpoint cell %d: %w", k, err)
+			}
+			done[k] = true
+			completed++
+		}
+		if opts.Progress != nil && completed > 0 {
+			opts.Progress(completed, n)
+		}
+	}
+
+	var (
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+		next int
+		errs []*CellError
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for next < n && done[next] {
+					next++
+				}
+				if len(errs) > 0 || next >= n {
+					mu.Unlock()
+					return
+				}
+				k := next
+				next++
+				mu.Unlock()
+
+				v, err := runCell(k, fn)
+				if err == nil && opts.Checkpoint != nil {
+					var raw json.RawMessage
+					if raw, err = json.Marshal(v); err == nil {
+						err = opts.Checkpoint.Store(k, raw)
+					}
+				}
+				mu.Lock()
+				if err != nil {
+					errs = append(errs, &CellError{Index: k, Err: err})
+					mu.Unlock()
+					return
+				}
+				out[k] = v
+				completed++
+				if opts.Progress != nil {
+					opts.Progress(completed, n)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if opts.Checkpoint != nil {
+		if err := opts.Checkpoint.Flush(); err != nil && len(errs) == 0 {
+			return nil, fmt.Errorf("runner: checkpoint flush: %w", err)
+		}
+	}
+	if len(errs) > 0 {
+		first := errs[0]
+		for _, e := range errs[1:] {
+			if e.Index < first.Index {
+				first = e
+			}
+		}
+		return nil, first
+	}
+	return out, nil
+}
+
+// runCell invokes fn for one cell, converting a panic into an error so a
+// single misbehaving cell cannot take down the whole sweep (or leak the
+// pool's other workers).
+func runCell[T any](k int, fn func(int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return fn(k)
+}
+
+// Grid evaluates fn over every (row, col) cell of a rows×cols grid and
+// returns the results as a row-major matrix. The flat index k passed to
+// fn is the cell's sequential position, ready for CellSeed.
+func Grid[T any](rows, cols int, opts Options, fn func(row, col, k int) (T, error)) ([][]T, error) {
+	flat, err := Map(rows*cols, opts, func(k int) (T, error) {
+		return fn(k/cols, k%cols, k)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]T, rows)
+	for i := range out {
+		out[i] = flat[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	return out, nil
+}

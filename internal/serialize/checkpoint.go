@@ -1,0 +1,175 @@
+package serialize
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+)
+
+// Checkpoint is a file-backed store of per-cell sweep results — the
+// persistence side of runner's checkpoint/resume hook. Completed cells
+// are kept as raw JSON keyed by cell index; the file is rewritten
+// atomically (write-to-temp, rename) so a killed sweep never leaves a
+// truncated store behind.
+//
+// The zero value is not usable; construct with NewCheckpoint.
+type Checkpoint struct {
+	path string
+
+	mu          sync.Mutex
+	fingerprint string
+	cells       map[int]json.RawMessage
+	// pending counts cells stored since the last write; Store rewrites
+	// the file every flushEvery cells, and Flush always rewrites when
+	// anything is pending.
+	pending    int
+	flushEvery int
+}
+
+// NewCheckpoint returns a checkpoint store persisted at path. Cells are
+// written through on every Store; see SetFlushEvery to batch writes for
+// sweeps with many cheap cells.
+func NewCheckpoint(path string) *Checkpoint {
+	return &Checkpoint{path: path, flushEvery: 1}
+}
+
+// SetFingerprint binds the store to one specific sweep. The fingerprint
+// — typically the sweep's parameters rendered as a string — is written
+// into the file, and Load refuses a store whose fingerprint differs:
+// without this, resuming with changed options (seed, iterations, grid
+// contents of the same size) would silently mix stale cells into the
+// new result. Set it before Load.
+func (c *Checkpoint) SetFingerprint(fp string) {
+	c.mu.Lock()
+	c.fingerprint = fp
+	c.mu.Unlock()
+}
+
+// SetFlushEvery makes Store rewrite the file only every n-th stored cell
+// (Flush still always persists). n < 1 is treated as 1.
+func (c *Checkpoint) SetFlushEvery(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	c.flushEvery = n
+	c.mu.Unlock()
+}
+
+// checkpointFile is the on-disk format: cell indices as JSON object keys.
+type checkpointFile struct {
+	Fingerprint string                     `json:"fingerprint,omitempty"`
+	Cells       map[string]json.RawMessage `json:"cells"`
+}
+
+// Load implements runner.Checkpoint: it reads the store from disk (an
+// absent file is an empty store) and returns the cells by index.
+func (c *Checkpoint) Load() (map[int]json.RawMessage, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data, err := os.ReadFile(c.path)
+	if os.IsNotExist(err) {
+		c.cells = map[int]json.RawMessage{}
+		return map[int]json.RawMessage{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var cf checkpointFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return nil, fmt.Errorf("serialize: checkpoint %s: %w", c.path, err)
+	}
+	if cf.Fingerprint != c.fingerprint {
+		return nil, fmt.Errorf("serialize: checkpoint %s was written by a different sweep (%q, want %q) — delete it or pass a fresh path",
+			c.path, cf.Fingerprint, c.fingerprint)
+	}
+	c.cells = make(map[int]json.RawMessage, len(cf.Cells))
+	out := make(map[int]json.RawMessage, len(cf.Cells))
+	for key, raw := range cf.Cells {
+		k, err := strconv.Atoi(key)
+		if err != nil {
+			return nil, fmt.Errorf("serialize: checkpoint %s: bad cell key %q", c.path, key)
+		}
+		c.cells[k] = raw
+		out[k] = raw
+	}
+	return out, nil
+}
+
+// Store implements runner.Checkpoint: it records one completed cell and
+// persists the store according to the flush policy.
+func (c *Checkpoint) Store(index int, cell json.RawMessage) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cells == nil {
+		c.cells = map[int]json.RawMessage{}
+	}
+	c.cells[index] = cell
+	c.pending++
+	if c.pending >= c.flushEvery {
+		return c.writeLocked()
+	}
+	return nil
+}
+
+// Flush implements runner.Checkpoint: it persists any cells not yet on
+// disk.
+func (c *Checkpoint) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pending == 0 {
+		return nil
+	}
+	return c.writeLocked()
+}
+
+// Remove deletes the store from disk — call it after a sweep completes
+// so a finished checkpoint is not mistaken for a resumable one.
+func (c *Checkpoint) Remove() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cells = nil
+	c.pending = 0
+	err := os.Remove(c.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// writeLocked rewrites the store atomically. Callers hold c.mu.
+func (c *Checkpoint) writeLocked() error {
+	cf := checkpointFile{
+		Fingerprint: c.fingerprint,
+		Cells:       make(map[string]json.RawMessage, len(c.cells)),
+	}
+	for k, raw := range c.cells {
+		cf.Cells[strconv.Itoa(k)] = raw
+	}
+	data, err := json.Marshal(cf)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(c.path), filepath.Base(c.path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	c.pending = 0
+	return nil
+}

@@ -1,0 +1,97 @@
+package serialize
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cells.ckpt")
+	ck := NewCheckpoint(path)
+	if cells, err := ck.Load(); err != nil || len(cells) != 0 {
+		t.Fatalf("fresh store: %v, %v", cells, err)
+	}
+	if err := ck.Store(3, json.RawMessage(`{"ratio":1.5}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Store(0, json.RawMessage(`{"ratio":2.25}`)); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := NewCheckpoint(path).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 || string(cells[3]) != `{"ratio":1.5}` || string(cells[0]) != `{"ratio":2.25}` {
+		t.Fatalf("round trip lost cells: %v", cells)
+	}
+}
+
+func TestCheckpointFlushEvery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "batched.ckpt")
+	ck := NewCheckpoint(path)
+	ck.SetFlushEvery(10)
+	if _, err := ck.Load(); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 5; k++ {
+		if err := ck.Store(k, json.RawMessage(`1`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("batched store written before flush threshold")
+	}
+	if err := ck.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := NewCheckpoint(path).Load()
+	if err != nil || len(cells) != 5 {
+		t.Fatalf("flush lost cells: %v, %v", cells, err)
+	}
+}
+
+func TestCheckpointFingerprintGuardsSweepIdentity(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fp.ckpt")
+	ck := NewCheckpoint(path)
+	ck.SetFingerprint("fig4 seed=1 iters=100")
+	if _, err := ck.Load(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Store(0, json.RawMessage(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	// Same fingerprint resumes.
+	same := NewCheckpoint(path)
+	same.SetFingerprint("fig4 seed=1 iters=100")
+	if cells, err := same.Load(); err != nil || len(cells) != 1 {
+		t.Fatalf("same-sweep resume failed: %v, %v", cells, err)
+	}
+	// Changed options must refuse, not silently mix stale cells in.
+	other := NewCheckpoint(path)
+	other.SetFingerprint("fig4 seed=1 iters=500")
+	if _, err := other.Load(); err == nil {
+		t.Fatal("stale checkpoint accepted by a differently-parameterized sweep")
+	}
+	// So must a fingerprint-less caller reading a fingerprinted store.
+	if _, err := NewCheckpoint(path).Load(); err == nil {
+		t.Fatal("fingerprinted store accepted by an unfingerprinted sweep")
+	}
+}
+
+func TestCheckpointRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.ckpt")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCheckpoint(path).Load(); err == nil {
+		t.Fatal("corrupt store accepted")
+	}
+	if err := os.WriteFile(path, []byte(`{"cells":{"x":1}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCheckpoint(path).Load(); err == nil {
+		t.Fatal("non-integer cell key accepted")
+	}
+}
