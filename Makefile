@@ -1,0 +1,34 @@
+# Build/verify targets for the SAGA/PISA reproduction. `make verify` is
+# the tier-1 gate; `make bench-smoke` is the allocation-regression gate
+# for the scheduling hot path (see EXPERIMENTS.md, "Hot-path memory
+# discipline", and the committed pre/post record in BENCH_hotpath.json).
+
+GO ?= go
+
+.PHONY: all build test verify bench-smoke bench
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the tier-1 check: everything builds, every test passes, and
+# the hot path still schedules without allocating.
+verify: build test bench-smoke
+
+# bench-smoke runs the hot-path benchmark just long enough to surface an
+# allocation regression loudly: the AllocsPerRun gate must stay at 0 for
+# every list scheduler, and the -benchmem columns must read 0 allocs/op
+# once warm. It finishes in a few seconds; use `make bench` for numbers
+# worth recording in BENCH_hotpath.json.
+bench-smoke:
+	$(GO) test -run 'TestScheduleScratchZeroAlloc|TestScratchBitIdenticalToReference' -count 1 ./internal/schedulers/
+	$(GO) test -run '^$$' -bench BenchmarkScheduleHotPath -benchmem -benchtime 100x .
+
+# bench is the full measurement protocol behind BENCH_hotpath.json:
+# count=3, 400ms per sub-benchmark; record the per-scheduler minimum.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkScheduleHotPath -benchmem -benchtime 400ms -count 3 .

@@ -217,6 +217,65 @@ func BenchmarkFig10AppSpecificPISA(b *testing.B) {
 	}
 }
 
+// hotPathInstance builds the fixed random-graph instance behind
+// BenchmarkScheduleHotPath: a layered DAG of 64 tasks over a 6-node
+// heterogeneous network, all weights drawn from the Section IV-B clipped
+// gaussian. The seed is fixed so pre/post comparisons in
+// BENCH_hotpath.json measure the same workload.
+func hotPathInstance() *graph.Instance {
+	r := rng.New(0x407)
+	g := graph.NewTaskGraph()
+	const layers, width = 8, 8
+	for l := 0; l < layers; l++ {
+		for w := 0; w < width; w++ {
+			t := g.AddTask(fmt.Sprintf("t%d_%d", l, w), r.ClippedGaussian(1, 1.0/3, 0.2, 2))
+			if l > 0 {
+				preds := 1 + r.Intn(3)
+				for k := 0; k < preds; k++ {
+					p := (l-1)*width + r.Intn(width)
+					if !g.HasDep(p, t) {
+						g.MustAddDep(p, t, r.ClippedGaussian(1, 1.0/3, 0.2, 2))
+					}
+				}
+			}
+		}
+	}
+	net := graph.NewNetwork(6)
+	for v := range net.Speeds {
+		net.Speeds[v] = r.ClippedGaussian(1, 1.0/3, 0.2, 2)
+		for u := v + 1; u < net.NumNodes(); u++ {
+			net.SetLink(v, u, r.ClippedGaussian(1, 1.0/3, 0.2, 2))
+		}
+	}
+	return graph.NewInstance(g, net)
+}
+
+// BenchmarkScheduleHotPath measures one full Schedule() call per
+// iteration for every Table I list scheduler on the random-graph scale
+// (64 tasks, 6 nodes) — the scheduling inner loop PISA drives thousands
+// of times per annealing chain, exercised exactly as core.Run drives it:
+// a warm per-worker scratch and a reused output schedule. Run with
+// -benchmem; steady state must report 0 allocs/op. The committed
+// pre/post numbers live in BENCH_hotpath.json (pre = the allocating
+// builder-per-call path this replaced).
+func BenchmarkScheduleHotPath(b *testing.B) {
+	inst := hotPathInstance()
+	for _, name := range schedulers.ExperimentalNames {
+		s := mustSched(b, name)
+		b.Run(name, func(b *testing.B) {
+			scr := scheduler.NewScratch()
+			var out schedule.Schedule
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := scheduler.ScheduleInto(s, inst, scr, &out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSchedulersOnWorkflow measures each experimental algorithm on
 // a realistic mid-size instance (a montage workflow over a 6-node
 // network) — the schedule-generation-time comparison Table I reports

@@ -42,8 +42,34 @@ var (
 	flagWorkers  = flag.Int("workers", 0, "parallel workers for the experiment sweeps (0 = GOMAXPROCS, 1 = sequential)")
 	flagSVGDir   = flag.String("svgdir", "", "also write SVG renderings of grids and Gantt charts here")
 	flagProgress = flag.Bool("progress", false, "report sweep progress on stderr")
-	flagCkpt     = flag.String("checkpoint", "", "checkpoint file for fig4 (resume an interrupted PISA grid)")
+	flagCkpt     = flag.String("checkpoint", "", "checkpoint file for fig4, fig7, fig8 and appspecific (resume an interrupted sweep; for appspecific pin one block with -ccr)")
 )
+
+// checkpoint binds the -checkpoint store (nil when the flag is unset) to
+// the given sweep fingerprint and wires it into ro. The fingerprint must
+// cover every input that shapes cell indices and contents, so resuming a
+// different sweep fails loudly instead of mixing stale cells in.
+func checkpoint(ro *runner.Options, fingerprint string) *serialize.Checkpoint {
+	if *flagCkpt == "" {
+		return nil
+	}
+	ckpt := serialize.NewCheckpoint(*flagCkpt)
+	ckpt.SetFingerprint(fingerprint)
+	ro.Checkpoint = ckpt
+	return ckpt
+}
+
+// removeCheckpoint deletes a completed sweep's store so it is not
+// mistaken for a resumable one. A failed cleanup is only worth a warning
+// — the computed result must still be rendered.
+func removeCheckpoint(label string, ckpt *serialize.Checkpoint) {
+	if ckpt == nil {
+		return
+	}
+	if err := ckpt.Remove(); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %s: checkpoint cleanup: %v\n", label, err)
+	}
+}
 
 // runnerOptions assembles the worker pool configuration shared by every
 // parallel sweep: the -workers bound and, with -progress, a stderr
@@ -111,9 +137,9 @@ func run(cmd string) error {
 	case "fig5", "fig6":
 		return caseStudy(cmd)
 	case "fig7":
-		return family("fig7 (fork-join family: HEFT loses to CPoP)", datasets.Fig7Instance)
+		return family("fig7", "fig7 (fork-join family: HEFT loses to CPoP)", datasets.Fig7Instance)
 	case "fig8":
-		return family("fig8 (wide-fork family: CPoP loses to HEFT)", datasets.Fig8Instance)
+		return family("fig8", "fig8 (wide-fork family: CPoP loses to HEFT)", datasets.Fig8Instance)
 	case "fig9":
 		return fig9()
 	case "appspecific":
@@ -191,29 +217,15 @@ func fig4() error {
 	fmt.Println("== Fig 4: pairwise PISA heatmap (15 x 15) ==")
 	opts := experiments.PairwiseOptions{Anneal: anneal()}
 	ro := runnerOptions("fig4")
-	var ckpt *serialize.Checkpoint
-	if *flagCkpt != "" {
-		ckpt = serialize.NewCheckpoint(*flagCkpt)
-		// Bind the store to this exact sweep — flags AND roster, since
-		// cell indices map to (target, base) pairs through the roster
-		// order — so resuming anything else fails loudly instead of
-		// mixing stale cells in.
-		ckpt.SetFingerprint(fmt.Sprintf("fig4 seed=%d iters=%d restarts=%d schedulers=%s",
-			*flagSeed, *flagIters, *flagRestarts, strings.Join(schedulers.ExperimentalNames, ",")))
-		ro.Checkpoint = ckpt
-	}
+	// The fingerprint covers flags AND roster, since cell indices map to
+	// (target, base) pairs through the roster order.
+	ckpt := checkpoint(&ro, fmt.Sprintf("fig4 seed=%d iters=%d restarts=%d schedulers=%s",
+		*flagSeed, *flagIters, *flagRestarts, strings.Join(schedulers.ExperimentalNames, ",")))
 	res, err := experiments.PairwisePISARun(schedulers.Experimental(), opts, ro)
 	if err != nil {
 		return err
 	}
-	if ckpt != nil {
-		// The grid is complete; a leftover store would otherwise shadow a
-		// future sweep at the same path. A failed cleanup is only worth a
-		// warning — the computed grid must still be rendered.
-		if err := ckpt.Remove(); err != nil {
-			fmt.Fprintf(os.Stderr, "figures: fig4: checkpoint cleanup: %v\n", err)
-		}
-	}
+	removeCheckpoint("fig4", ckpt)
 	rows := append([][]float64{res.Worst}, res.Ratios...)
 	rowLabels := append([]string{"Worst"}, res.Schedulers...)
 	fmt.Print(render.Grid(
@@ -249,13 +261,16 @@ func caseStudy(cmd string) error {
 	return nil
 }
 
-func family(title string, gen func(*rng.RNG) *graph.Instance) error {
+func family(label, title string, gen func(*rng.RNG) *graph.Instance) error {
 	fmt.Println("== " + title + " ==")
 	scheds := []scheduler.Scheduler{mustSched("CPoP"), mustSched("HEFT")}
-	res, err := experiments.FamilyRun(gen, scheds, *flagN, *flagSeed, runnerOptions("family"))
+	ro := runnerOptions("family")
+	ckpt := checkpoint(&ro, fmt.Sprintf("%s seed=%d n=%d schedulers=CPoP,HEFT", label, *flagSeed, *flagN))
+	res, err := experiments.FamilyRun(gen, scheds, *flagN, *flagSeed, ro)
 	if err != nil {
 		return err
 	}
+	removeCheckpoint(label, ckpt)
 	for _, name := range res.Schedulers {
 		fmt.Print(render.Histogram(name, res.Makespans[name], 10))
 	}
@@ -297,17 +312,31 @@ func appSpecific(workflow string) error {
 	if *flagCCR > 0 {
 		ccrs = []float64{*flagCCR}
 	}
+	if *flagCkpt != "" && len(ccrs) > 1 {
+		// A multi-CCR run reuses one store path across blocks: a naive
+		// re-run after an interruption would start at the first CCR level
+		// and trip over the interrupted block's fingerprint. Require the
+		// block to be pinned so resume always works on the first try.
+		return fmt.Errorf("appspecific -checkpoint needs a single block: pin one CCR level with -ccr")
+	}
 	scheds := schedulers.AppSpecific()
 	for _, ccr := range ccrs {
+		ro := runnerOptions("appspecific")
+		// One store per (workflow, CCR) block: the fingerprint pins the
+		// block, and the store is removed once the block completes so the
+		// next CCR level starts fresh at the same path.
+		ckpt := checkpoint(&ro, fmt.Sprintf("appspecific workflow=%s ccr=%g seed=%d n=%d iters=%d restarts=%d schedulers=%s",
+			workflow, ccr, *flagSeed, *flagN, *flagIters, *flagRestarts, strings.Join(schedulers.AppSpecificNames, ",")))
 		res, err := experiments.AppSpecificRun(scheds, experiments.AppSpecificOptions{
 			Workflow:           workflow,
 			CCR:                ccr,
 			BenchmarkInstances: *flagN,
 			Anneal:             anneal(),
-		}, runnerOptions("appspecific"))
+		}, ro)
 		if err != nil {
 			return err
 		}
+		removeCheckpoint("appspecific", ckpt)
 		rows := append([][]float64{}, res.Ratios...)
 		rows = append(rows, res.Benchmark)
 		rowLabels := append([]string{}, res.Schedulers...)

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 	"saga/internal/graph"
 	"saga/internal/render"
 	"saga/internal/rng"
+	"saga/internal/runner"
 	"saga/internal/scheduler"
 	"saga/internal/schedulers"
 	"saga/internal/serialize"
@@ -80,7 +82,7 @@ commands:
   schedule   -scheduler <name> -in file.json [-gantt]
   pisa       -target <name> -base <name> [-method sa|ga] [-iters N] [-restarts N] [-seed N] [-out file.json]
   portfolio  -k N [-schedulers a,b,c] [-iters N] [-restarts N] [-seed N] [-workers N]
-  robustness -scheduler <name> -in file.json [-sigma F] [-n N] [-seed N] [-workers N]
+  robustness -scheduler <name> -in file.json [-sigma F] [-n N] [-seed N] [-workers N] [-checkpoint file]
   convert    -from-wfc wf.json [-link F] [-ccr F] -out inst.json   (wfformat -> instance)
              -from-instance inst.json -out wf.json                 (instance -> wfformat)
   simulate   -scheduler <name> -in file.json [-contention]
@@ -286,13 +288,18 @@ func robustnessCmd(args []string) error {
 	n := fs.Int("n", 100, "jitter samples")
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	ckptPath := fs.String("checkpoint", "", "checkpoint file (resume an interrupted jitter sweep)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("robustness: -in is required")
 	}
-	inst, err := serialize.LoadInstance(*in)
+	raw, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	inst, err := serialize.UnmarshalInstance(raw)
 	if err != nil {
 		return err
 	}
@@ -300,9 +307,26 @@ func robustnessCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := experiments.RobustnessParallel(inst, s, *sigma, *n, *seed, *workers)
+	ro := runner.Options{Workers: *workers}
+	var ckpt *serialize.Checkpoint
+	if *ckptPath != "" {
+		// The fingerprint hashes the exact bytes the instance was parsed
+		// from, not just the file path: resuming after the file was
+		// regenerated in place must fail loudly instead of mixing cells
+		// from two different instances.
+		ckpt = serialize.NewCheckpoint(*ckptPath)
+		ckpt.SetFingerprint(fmt.Sprintf("robustness scheduler=%s in=%x sigma=%g n=%d seed=%d",
+			*name, sha256.Sum256(raw), *sigma, *n, *seed))
+		ro.Checkpoint = ckpt
+	}
+	res, err := experiments.RobustnessRun(inst, s, *sigma, *n, *seed, ro)
 	if err != nil {
 		return err
+	}
+	if ckpt != nil {
+		if err := ckpt.Remove(); err != nil {
+			fmt.Fprintf(os.Stderr, "saga: robustness: checkpoint cleanup: %v\n", err)
+		}
 	}
 	fmt.Printf("%s nominal makespan: %.4f\n", res.Scheduler, res.Nominal)
 	fmt.Printf("static replay under +/-%.0f%% cost jitter (n=%d): mean %.4f  p50 %.4f  max %.4f\n",

@@ -76,12 +76,13 @@ func RunGA(target, baseline scheduler.Scheduler, opts GAOptions) (*Result, error
 	}
 	p := opts.Perturb.withDefaults()
 	r := rng.New(opts.Seed)
+	ev := newEvaluator(target, baseline, nil)
 	res := &Result{}
 
 	pop := make([]individual, opts.PopulationSize)
 	for i := range pop {
 		inst := prepare(opts.InitialInstance(r.Split()), p)
-		ratio, err := evaluate(target, baseline, inst)
+		ratio, err := ev.ratio(inst)
 		if err != nil {
 			return nil, err
 		}
@@ -116,7 +117,7 @@ func RunGA(target, baseline scheduler.Scheduler, opts GAOptions) (*Result, error
 			if r.Float64() < opts.MutationRate {
 				perturb(child, r, p)
 			}
-			ratio, err := evaluate(target, baseline, child)
+			ratio, err := ev.ratio(child)
 			if err != nil {
 				return nil, err
 			}

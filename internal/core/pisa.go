@@ -22,6 +22,7 @@ import (
 
 	"saga/internal/graph"
 	"saga/internal/rng"
+	"saga/internal/schedule"
 	"saga/internal/scheduler"
 )
 
@@ -63,6 +64,12 @@ type Options struct {
 	// evaluation into Result.Trace — the data behind annealing-curve
 	// plots and convergence analysis.
 	RecordTrace bool
+	// Scratch, when non-nil, is the reusable per-worker scheduling state
+	// (builder, precomputed tables, rank buffers) threaded through every
+	// candidate evaluation. Nil allocates a private one per Run. Parallel
+	// sweeps pass one scratch per worker (runner.MapState) so nothing is
+	// shared across goroutines; the scratch never affects results.
+	Scratch *scheduler.Scratch
 }
 
 // TracePoint is one step of the annealing search.
@@ -180,23 +187,38 @@ func Run(target, baseline scheduler.Scheduler, opts Options) (*Result, error) {
 	}
 	p := opts.Perturb.withDefaults()
 	root := rng.New(opts.Seed)
+	ev := newEvaluator(target, baseline, opts.Scratch)
 
 	res := &Result{BestRatio: math.Inf(-1)}
+	// One candidate and one incumbent-best buffer serve every annealing
+	// chain: each iteration copies the current state into the candidate
+	// in place of the reference implementation's per-iteration Clone, and
+	// pointer swaps implement acceptance. Only the returned Result.Best
+	// is ever cloned out of the buffers.
+	var cand, best *graph.Instance
 	for restart := 0; restart < opts.Restarts; restart++ {
 		r := root.Split()
 		cur := prepare(opts.InitialInstance(r), p)
-		curRatio, err := evaluate(target, baseline, cur)
+		curRatio, err := ev.ratio(cur)
 		if err != nil {
 			return nil, err
 		}
 		res.Evaluations++
 
-		best, bestRatio := cur.Clone(), curRatio
+		if best == nil {
+			best = cur.Clone()
+		} else {
+			best.CopyFrom(cur)
+		}
+		bestRatio := curRatio
+		if cand == nil {
+			cand = cur.Clone()
+		}
 		temp := opts.TMax
 		for iter := 0; temp > opts.TMin && iter < opts.MaxIters; iter++ {
-			cand := cur.Clone()
+			cand.CopyFrom(cur)
 			perturb(cand, r, p)
-			candRatio, err := evaluate(target, baseline, cand)
+			candRatio, err := ev.ratio(cand)
 			if err != nil {
 				return nil, err
 			}
@@ -204,8 +226,10 @@ func Run(target, baseline scheduler.Scheduler, opts Options) (*Result, error) {
 
 			accepted := false
 			if candRatio > bestRatio {
-				best, bestRatio = cand.Clone(), candRatio
-				cur, curRatio = cand, candRatio
+				best.CopyFrom(cand)
+				bestRatio = candRatio
+				cur, cand = cand, cur
+				curRatio = candRatio
 				accepted = true
 				if opts.OnImprove != nil {
 					opts.OnImprove(iter, bestRatio)
@@ -214,7 +238,8 @@ func Run(target, baseline scheduler.Scheduler, opts Options) (*Result, error) {
 				// Algorithm 1 line 9: accept a non-improving candidate
 				// with probability exp(−(M'/M_best)/T).
 				if r.Float64() < math.Exp(-(candRatio/bestRatio)/temp) {
-					cur, curRatio = cand, candRatio
+					cur, cand = cand, cur
+					curRatio = candRatio
 					accepted = true
 				}
 			}
@@ -232,25 +257,41 @@ func Run(target, baseline scheduler.Scheduler, opts Options) (*Result, error) {
 		}
 		res.RestartRatios = append(res.RestartRatios, bestRatio)
 		if bestRatio > res.BestRatio {
-			res.Best, res.BestRatio = best, bestRatio
+			res.Best, res.BestRatio = best.Clone(), bestRatio
 		}
 	}
 	_ = res.Best.Validate() // best-effort sanity; instances stay valid by construction
 	return res, nil
 }
 
-// evaluate returns the makespan ratio of the target over the baseline on
+// evaluator computes makespan ratios through the allocation-free
+// scheduling path: one scratch and one schedule pair reused for every
+// candidate. The tables are rebuilt (Prepare) per call because the
+// annealer mutates its candidate buffers in place between evaluations.
+type evaluator struct {
+	target, baseline scheduler.Scheduler
+	scr              *scheduler.Scratch
+	st, sb           schedule.Schedule
+}
+
+func newEvaluator(target, baseline scheduler.Scheduler, scr *scheduler.Scratch) *evaluator {
+	if scr == nil {
+		scr = scheduler.NewScratch()
+	}
+	return &evaluator{target: target, baseline: baseline, scr: scr}
+}
+
+// ratio returns the makespan ratio of the target over the baseline on
 // the instance.
-func evaluate(target, baseline scheduler.Scheduler, inst *graph.Instance) (float64, error) {
-	st, err := target.Schedule(inst)
-	if err != nil {
-		return 0, fmt.Errorf("core: target %s failed: %w", target.Name(), err)
+func (e *evaluator) ratio(inst *graph.Instance) (float64, error) {
+	e.scr.Prepare(inst)
+	if err := scheduler.ScheduleInto(e.target, inst, e.scr, &e.st); err != nil {
+		return 0, fmt.Errorf("core: target %s failed: %w", e.target.Name(), err)
 	}
-	sb, err := baseline.Schedule(inst)
-	if err != nil {
-		return 0, fmt.Errorf("core: baseline %s failed: %w", baseline.Name(), err)
+	if err := scheduler.ScheduleInto(e.baseline, inst, e.scr, &e.sb); err != nil {
+		return 0, fmt.Errorf("core: baseline %s failed: %w", e.baseline.Name(), err)
 	}
-	mt, mb := st.Makespan(), sb.Makespan()
+	mt, mb := e.st.Makespan(), e.sb.Makespan()
 	if mb == 0 {
 		if mt == 0 {
 			return 1, nil
@@ -258,6 +299,12 @@ func evaluate(target, baseline scheduler.Scheduler, inst *graph.Instance) (float
 		return math.Inf(1), nil
 	}
 	return mt / mb, nil
+}
+
+// evaluate is the one-shot form of evaluator.ratio, kept for callers
+// outside the annealing loop (the GA seeds one evaluator instead).
+func evaluate(target, baseline scheduler.Scheduler, inst *graph.Instance) (float64, error) {
+	return newEvaluator(target, baseline, nil).ratio(inst)
 }
 
 // prepare enforces the homogeneity constraints on a fresh initial

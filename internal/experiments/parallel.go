@@ -134,30 +134,32 @@ func PairwisePISARun(scheds []scheduler.Scheduler, opts PairwiseOptions, ro runn
 	}
 
 	baseSeed := opts.Anneal.Seed
-	cells, err := runner.Map(n*(n-1), ro, func(k int) (pisaCell, error) {
-		i, j := runner.OffDiagonal(k, n)
-		target, err := scheduler.New(res.Schedulers[j])
-		if err != nil {
-			return pisaCell{}, err
-		}
-		base, err := scheduler.New(res.Schedulers[i])
-		if err != nil {
-			return pisaCell{}, err
-		}
-		ao := opts.Anneal
-		ao.Seed = runner.CellSeed(baseSeed, k)
-		ao.InitialInstance = datasets.InitialPISAInstance
-		ao.Perturb = pairPerturb(target, base)
-		r, err := core.Run(target, base, ao)
-		if err != nil {
-			return pisaCell{}, err
-		}
-		raw, err := serialize.MarshalInstance(r.Best)
-		if err != nil {
-			return pisaCell{}, err
-		}
-		return pisaCell{Ratio: r.BestRatio, Instance: raw}, nil
-	})
+	cells, err := runner.MapState(n*(n-1), ro, scheduler.NewScratch,
+		func(k int, scr *scheduler.Scratch) (pisaCell, error) {
+			i, j := runner.OffDiagonal(k, n)
+			target, err := scheduler.New(res.Schedulers[j])
+			if err != nil {
+				return pisaCell{}, err
+			}
+			base, err := scheduler.New(res.Schedulers[i])
+			if err != nil {
+				return pisaCell{}, err
+			}
+			ao := opts.Anneal
+			ao.Seed = runner.CellSeed(baseSeed, k)
+			ao.InitialInstance = datasets.InitialPISAInstance
+			ao.Perturb = pairPerturb(target, base)
+			ao.Scratch = scr // per-worker buffers; results are scratch-independent
+			r, err := core.Run(target, base, ao)
+			if err != nil {
+				return pisaCell{}, err
+			}
+			raw, err := serialize.MarshalInstance(r.Best)
+			if err != nil {
+				return pisaCell{}, err
+			}
+			return pisaCell{Ratio: r.BestRatio, Instance: raw}, nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -184,8 +186,9 @@ func FamilyParallel(gen func(*rng.RNG) *graph.Instance, scheds []scheduler.Sched
 	return FamilyRun(gen, scheds, n, seed, runner.Options{Workers: workers})
 }
 
-// FamilyRun is FamilyParallel with full runner control (progress
-// callbacks, checkpointing).
+// FamilyRun is FamilyParallel with full runner control: progress
+// callbacks and a checkpoint store for resumable sampling sweeps (each
+// cell's per-scheduler makespan vector round-trips through JSON).
 func FamilyRun(gen func(*rng.RNG) *graph.Instance, scheds []scheduler.Scheduler, n int, seed uint64, ro runner.Options) (*FamilyResult, error) {
 	res := &FamilyResult{
 		Makespans: map[string][]float64{},
@@ -195,22 +198,24 @@ func FamilyRun(gen func(*rng.RNG) *graph.Instance, scheds []scheduler.Scheduler,
 		res.Schedulers = append(res.Schedulers, s.Name())
 	}
 	subs := splitStreams(seed, n)
-	cells, err := runner.Map(n, ro, func(k int) ([]float64, error) {
-		local, err := freshSchedulers(res.Schedulers)
-		if err != nil {
-			return nil, err
-		}
-		inst := gen(subs[k])
-		ms := make([]float64, len(local))
-		for i, s := range local {
-			sch, err := s.Schedule(inst)
+	cells, err := runner.MapState(n, ro, scheduler.NewScratch,
+		func(k int, scr *scheduler.Scratch) ([]float64, error) {
+			local, err := freshSchedulers(res.Schedulers)
 			if err != nil {
 				return nil, err
 			}
-			ms[i] = sch.Makespan()
-		}
-		return ms, nil
-	})
+			inst := gen(subs[k])
+			out := scr.AcquireSchedule()
+			defer scr.ReleaseSchedule(out)
+			ms := make([]float64, len(local))
+			for i, s := range local {
+				if err := scheduler.ScheduleInto(s, inst, scr, out); err != nil {
+					return nil, err
+				}
+				ms[i] = out.Makespan()
+			}
+			return ms, nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -236,28 +241,37 @@ type robustCell struct {
 // scheduler must be registry-instantiable so each worker re-plans with
 // its own copy.
 func RobustnessParallel(inst *graph.Instance, s scheduler.Scheduler, sigma float64, n int, seed uint64, workers int) (*RobustnessResult, error) {
+	return RobustnessRun(inst, s, sigma, n, seed, runner.Options{Workers: workers})
+}
+
+// RobustnessRun is RobustnessParallel with full runner control: progress
+// callbacks and a checkpoint store for resumable jitter sweeps (each
+// cell is a (static, adaptive) makespan pair).
+func RobustnessRun(inst *graph.Instance, s scheduler.Scheduler, sigma float64, n int, seed uint64, ro runner.Options) (*RobustnessResult, error) {
 	nominal, err := s.Schedule(inst)
 	if err != nil {
 		return nil, err
 	}
 	res := &RobustnessResult{Scheduler: s.Name(), Nominal: nominal.Makespan()}
 	subs := splitStreams(seed, n)
-	cells, err := runner.Map(n, runner.Options{Workers: workers}, func(k int) (robustCell, error) {
-		local, err := scheduler.New(s.Name())
-		if err != nil {
-			return robustCell{}, err
-		}
-		j := Jitter(inst, sigma, subs[k])
-		m, err := Replay(j, nominal)
-		if err != nil {
-			return robustCell{}, err
-		}
-		re, err := local.Schedule(j)
-		if err != nil {
-			return robustCell{}, err
-		}
-		return robustCell{Static: m, Adaptive: re.Makespan()}, nil
-	})
+	cells, err := runner.MapState(n, ro, scheduler.NewScratch,
+		func(k int, scr *scheduler.Scratch) (robustCell, error) {
+			local, err := scheduler.New(s.Name())
+			if err != nil {
+				return robustCell{}, err
+			}
+			j := Jitter(inst, sigma, subs[k])
+			m, err := Replay(j, nominal)
+			if err != nil {
+				return robustCell{}, err
+			}
+			re := scr.AcquireSchedule()
+			defer scr.ReleaseSchedule(re)
+			if err := scheduler.ScheduleInto(local, j, scr, re); err != nil {
+				return robustCell{}, err
+			}
+			return robustCell{Static: m, Adaptive: re.Makespan()}, nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -298,13 +312,12 @@ func AppSpecificParallel(scheds []scheduler.Scheduler, opts AppSpecificOptions, 
 	return AppSpecificRun(scheds, opts, runner.Options{Workers: workers})
 }
 
-// AppSpecificRun is AppSpecificParallel with runner progress reporting.
-// Checkpointing is rejected: the driver runs two sweeps (benchmarking,
-// then PISA) whose cell indices would collide in one store.
+// AppSpecificRun is AppSpecificParallel with full runner control. The
+// driver runs two sweeps — benchmarking, then PISA — against one
+// checkpoint store by giving the PISA sweep a disjoint index window
+// (runner.OffsetCheckpoint), so both phases of an interrupted block
+// resume.
 func AppSpecificRun(scheds []scheduler.Scheduler, opts AppSpecificOptions, ro runner.Options) (*AppSpecificResult, error) {
-	if ro.Checkpoint != nil {
-		return nil, fmt.Errorf("experiments: AppSpecificRun does not support checkpointing")
-	}
 	n := len(scheds)
 	res := &AppSpecificResult{
 		Workflow:  opts.Workflow,
@@ -381,12 +394,18 @@ func AppSpecificRun(scheds []scheduler.Scheduler, opts AppSpecificOptions, ro ru
 	}
 
 	// PISA grid with the application-specific PERTURB implementation.
+	// Its checkpoint window starts past the benchmarking sweep's cells so
+	// one store serves both phases.
 	if n < 2 {
 		return res, nil
 	}
+	pisaRO := ro
+	if pisaRO.Checkpoint != nil {
+		pisaRO.Checkpoint = runner.OffsetCheckpoint(ro.Checkpoint, nBench)
+	}
 	baseSeed := opts.Anneal.Seed
-	pisaCells, err := runner.Map(n*(n-1), ro,
-		func(k int) (pisaCell, error) {
+	pisaCells, err := runner.MapState(n*(n-1), pisaRO, scheduler.NewScratch,
+		func(k int, scr *scheduler.Scratch) (pisaCell, error) {
 			i, j := runner.OffDiagonal(k, n)
 			base, err := scheduler.New(res.Schedulers[i])
 			if err != nil {
@@ -410,6 +429,7 @@ func AppSpecificRun(scheds []scheduler.Scheduler, opts AppSpecificOptions, ro ru
 				FixStructure:      true,
 				KeepPinnedWeights: true,
 			}
+			ao.Scratch = scr
 			pr, err := core.Run(target, base, ao)
 			if err != nil {
 				return pisaCell{}, err

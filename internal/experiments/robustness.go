@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"saga/internal/graph"
 	"saga/internal/rng"
@@ -55,11 +55,14 @@ func Replay(jittered *graph.Instance, nominal *schedule.Schedule) (float64, erro
 		tmp[a.Node] = append(tmp[a.Node], ta{task: t, start: a.Start})
 	}
 	for v := range tmp {
-		sort.Slice(tmp[v], func(i, j int) bool {
-			if tmp[v][i].start != tmp[v][j].start {
-				return tmp[v][i].start < tmp[v][j].start
+		slices.SortFunc(tmp[v], func(a, b ta) int {
+			switch {
+			case a.start < b.start:
+				return -1
+			case a.start > b.start:
+				return 1
 			}
-			return tmp[v][i].task < tmp[v][j].task
+			return a.task - b.task
 		})
 		for _, x := range tmp[v] {
 			perNode[v] = append(perNode[v], x.task)

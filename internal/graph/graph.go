@@ -263,9 +263,15 @@ func (g *TaskGraph) TopoOrder() ([]int, error) {
 		}
 	}
 	if len(order) != n {
-		return nil, fmt.Errorf("graph: cycle detected (%d of %d tasks ordered)", len(order), n)
+		return nil, cycleError(len(order), n)
 	}
 	return order, nil
+}
+
+// cycleError is the shared cycle diagnostic of TopoOrder and
+// Tables.Build.
+func cycleError(ordered, n int) error {
+	return fmt.Errorf("graph: cycle detected (%d of %d tasks ordered)", ordered, n)
 }
 
 // Validate checks structural invariants: positive costs, mirrored
@@ -315,6 +321,31 @@ func findDep(deps []Dep, to int) (float64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// CopyFrom makes g a deep copy of src, reusing g's existing slice
+// storage where capacity allows. It is the allocation-free counterpart
+// of Clone for hot loops (PISA reuses one candidate instance per
+// annealing chain instead of cloning every iteration).
+func (g *TaskGraph) CopyFrom(src *TaskGraph) {
+	g.Tasks = append(g.Tasks[:0], src.Tasks...)
+	g.Succ = copyAdjacency(g.Succ, src.Succ)
+	g.Pred = copyAdjacency(g.Pred, src.Pred)
+}
+
+// copyAdjacency deep-copies src into dst reusing row capacity.
+func copyAdjacency(dst, src [][]Dep) [][]Dep {
+	if cap(dst) < len(src) {
+		grown := make([][]Dep, len(src))
+		copy(grown, dst[:cap(dst)])
+		dst = grown
+	} else {
+		dst = dst[:len(src)]
+	}
+	for i, row := range src {
+		dst[i] = append(dst[i][:0], row...)
+	}
+	return dst
 }
 
 // Clone returns a deep copy.

@@ -131,6 +131,22 @@ func (n *Network) Validate() error {
 	return nil
 }
 
+// CopyFrom makes n a deep copy of src, reusing n's slice storage where
+// capacity allows (the hot-loop counterpart of Clone).
+func (n *Network) CopyFrom(src *Network) {
+	n.Speeds = append(n.Speeds[:0], src.Speeds...)
+	if cap(n.Links) < len(src.Links) {
+		grown := make([][]float64, len(src.Links))
+		copy(grown, n.Links[:cap(n.Links)])
+		n.Links = grown
+	} else {
+		n.Links = n.Links[:len(src.Links)]
+	}
+	for i, row := range src.Links {
+		n.Links[i] = append(n.Links[i][:0], row...)
+	}
+}
+
 // Clone returns a deep copy.
 func (n *Network) Clone() *Network {
 	c := &Network{
@@ -157,6 +173,20 @@ func NewInstance(g *TaskGraph, n *Network) *Instance {
 // Clone returns a deep copy of the instance.
 func (in *Instance) Clone() *Instance {
 	return &Instance{Graph: in.Graph.Clone(), Net: in.Net.Clone()}
+}
+
+// CopyFrom makes in a deep copy of src, reusing in's storage where
+// capacity allows. PISA's annealing chains use it to recycle one
+// candidate/incumbent instance pair instead of cloning per iteration.
+func (in *Instance) CopyFrom(src *Instance) {
+	if in.Graph == nil {
+		in.Graph = NewTaskGraph()
+	}
+	if in.Net == nil {
+		in.Net = &Network{}
+	}
+	in.Graph.CopyFrom(src.Graph)
+	in.Net.CopyFrom(src.Net)
 }
 
 // Validate checks both halves of the instance.

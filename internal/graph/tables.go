@@ -1,0 +1,261 @@
+package graph
+
+import "math"
+
+// Tables caches the derived cost quantities every list scheduler keeps
+// recomputing from an Instance: inverse node speeds, the flattened dense
+// link-strength matrix and its inverse, per-task average execution
+// times, per-edge average communication times (aligned with both the
+// successor and predecessor adjacency lists), and the deterministic
+// topological order. Build populates them reusing the receiver's
+// storage (the per-edge averages lazily, via EnsureAvgComm), so a
+// per-worker Tables rebuilt once per instance makes the scheduling hot
+// path allocation-free.
+//
+// The averages are accumulated with exactly the same floating-point
+// operation order as Instance.AvgExecTime and Instance.AvgCommTime, so
+// schedulers reading the tables produce bit-identical schedules to ones
+// calling the Instance methods directly.
+//
+// Tables is a snapshot: it does not observe later mutations of the
+// instance. Callers that perturb weights or structure must call Build
+// again before the next use (package core does so once per annealing
+// candidate).
+type Tables struct {
+	// NTasks and NNodes record the shape the tables were built for.
+	NTasks, NNodes int
+
+	// InvSpeed[v] is 1/s(v).
+	InvSpeed []float64
+	// LinkFlat is the dense row-major |V|×|V| link-strength matrix:
+	// LinkFlat[u*NNodes+v] = s(u, v), +Inf on the diagonal. Hot paths
+	// divide by these raw strengths (never multiply by the inverse) so
+	// results stay bit-identical to Instance.CommTime.
+	LinkFlat []float64
+	// InvLink is the matching inverse matrix: 1/s(u, v), with 0 for the
+	// diagonal and for infinitely strong links. An entry of 0 therefore
+	// means "communication between this pair is free".
+	InvLink []float64
+	// AvgExec[t] equals Instance.AvgExecTime(t).
+	AvgExec []float64
+	// Exec is the dense row-major |T|×|V| execution-time matrix:
+	// Exec[t*NNodes+v] = c(t)/s(v), each entry the one division
+	// Instance.ExecTime performs, so reads are bit-identical.
+	Exec []float64
+	// Topo is the deterministic topological order of the task graph
+	// (equal to TaskGraph.TopoOrder); TopoErr records the cycle error if
+	// the graph has one, in which case Topo is invalid.
+	Topo    []int
+	TopoErr error
+
+	// avgComm holds AvgCommTime for every edge twice: first aligned with
+	// the concatenated successor lists, then with the predecessor lists.
+	// succOff/predOff are the per-task offsets into it. It is the one
+	// expensive table (O(|D|·|V|²) pair loops), so Build defers it:
+	// EnsureAvgComm fills it on first use per Build, and scheduler pairs
+	// that never read edge averages (MCT, MinMin, WBA, ...) skip the
+	// cost entirely.
+	avgComm      []float64
+	succOff      []int
+	predOff      []int
+	avgCommBuilt bool
+	src          *Instance // instance of the last Build, for EnsureAvgComm
+
+	indeg    []int // Kahn scratch
+	frontier []int
+}
+
+// AvgCommSucc returns the average communication time of the i-th
+// successor edge of task t (the edge g.Succ[t][i]); it equals
+// Instance.AvgCommTime(t, g.Succ[t][i].To). Call EnsureAvgComm once
+// before a read loop.
+func (tb *Tables) AvgCommSucc(t, i int) float64 {
+	return tb.avgComm[tb.succOff[t]+i]
+}
+
+// AvgCommPred returns the average communication time of the i-th
+// predecessor edge of task t (the edge (g.Pred[t][i].To, t)). Call
+// EnsureAvgComm once before a read loop.
+func (tb *Tables) AvgCommPred(t, i int) float64 {
+	return tb.avgComm[tb.predOff[t]+i]
+}
+
+// EnsureAvgComm fills the per-edge average-communication table for the
+// instance of the last Build, at most once per Build. The rank
+// computations call it at entry; consumers that never read edge
+// averages never pay for the pair loops.
+func (tb *Tables) EnsureAvgComm() {
+	if tb.avgCommBuilt {
+		return
+	}
+	g, net := tb.src.Graph, tb.src.Net
+	nT := g.NumTasks()
+	nD := g.NumDeps()
+	tb.avgComm = growF64(tb.avgComm, 2*nD)
+	tb.succOff = growInt(tb.succOff, nT+1)
+	tb.predOff = growInt(tb.predOff, nT+1)
+	off := 0
+	for t := 0; t < nT; t++ {
+		tb.succOff[t] = off
+		for i, d := range g.Succ[t] {
+			tb.avgComm[off+i] = avgCommTime(net, d.Cost)
+		}
+		off += len(g.Succ[t])
+	}
+	tb.succOff[nT] = off
+	for t := 0; t < nT; t++ {
+		tb.predOff[t] = off
+		for i, d := range g.Pred[t] {
+			// Same edge (d.To, t): look the value up from the successor
+			// half instead of recomputing the pair loop.
+			u := d.To
+			tb.avgComm[off+i] = tb.avgComm[tb.succOff[u]+succIndex(g, u, t)]
+		}
+		off += len(g.Pred[t])
+	}
+	tb.predOff[nT] = off
+	tb.avgCommBuilt = true
+}
+
+// Link returns the link strength s(u, v) from the flattened matrix.
+func (tb *Tables) Link(u, v int) float64 { return tb.LinkFlat[u*tb.NNodes+v] }
+
+// CommFree reports whether sending data from u to v costs nothing
+// (same node or an infinitely strong link).
+func (tb *Tables) CommFree(u, v int) bool { return tb.InvLink[u*tb.NNodes+v] == 0 }
+
+// growF64 returns s resized to n, reusing capacity.
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growInt returns s resized to n, reusing capacity.
+func growInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// Build (re)computes every table for the instance, reusing the
+// receiver's storage. It is safe to call on a zero Tables.
+func (tb *Tables) Build(inst *Instance) {
+	g, net := inst.Graph, inst.Net
+	nT, nV := g.NumTasks(), net.NumNodes()
+	tb.NTasks, tb.NNodes = nT, nV
+
+	tb.InvSpeed = growF64(tb.InvSpeed, nV)
+	for v, s := range net.Speeds {
+		tb.InvSpeed[v] = 1 / s
+	}
+
+	tb.LinkFlat = growF64(tb.LinkFlat, nV*nV)
+	tb.InvLink = growF64(tb.InvLink, nV*nV)
+	for u := 0; u < nV; u++ {
+		row := net.Links[u]
+		for v := 0; v < nV; v++ {
+			w := row[v]
+			tb.LinkFlat[u*nV+v] = w
+			if u == v || math.IsInf(w, 1) {
+				tb.InvLink[u*nV+v] = 0
+			} else {
+				tb.InvLink[u*nV+v] = 1 / w
+			}
+		}
+	}
+
+	// Per-task execution times and their average, with AvgExecTime's
+	// exact summation order.
+	tb.AvgExec = growF64(tb.AvgExec, nT)
+	tb.Exec = growF64(tb.Exec, nT*nV)
+	for t := 0; t < nT; t++ {
+		cost := g.Tasks[t].Cost
+		sum := 0.0
+		for v := 0; v < nV; v++ {
+			e := cost / net.Speeds[v]
+			tb.Exec[t*nV+v] = e
+			sum += e
+		}
+		tb.AvgExec[t] = sum / float64(nV)
+	}
+
+	// The per-edge average-communication table (AvgCommTime's exact pair
+	// loop) is deferred to EnsureAvgComm: only the rank computations
+	// read it, and many scheduler pairs never do.
+	tb.avgCommBuilt = false
+	tb.src = inst
+
+	tb.buildTopo(g)
+}
+
+// succIndex returns the position of edge (u, v) in g.Succ[u]; it panics
+// if the adjacency lists are inconsistent (Validate catches that first).
+func succIndex(g *TaskGraph, u, v int) int {
+	for i, d := range g.Succ[u] {
+		if d.To == v {
+			return i
+		}
+	}
+	panic("graph: predecessor list references missing successor edge")
+}
+
+// avgCommTime mirrors Instance.AvgCommTime for a known edge cost.
+func avgCommTime(net *Network, cost float64) float64 {
+	if cost == 0 {
+		return 0
+	}
+	nodes := net.NumNodes()
+	if nodes < 2 {
+		return 0
+	}
+	sum := 0.0
+	count := 0
+	for a := 0; a < nodes; a++ {
+		for b := a + 1; b < nodes; b++ {
+			if !math.IsInf(net.Links[a][b], 1) {
+				sum += cost / net.Links[a][b]
+			}
+			count++
+		}
+	}
+	return sum / float64(count)
+}
+
+// buildTopo mirrors TaskGraph.TopoOrder (Kahn, lowest index first) with
+// reused buffers.
+func (tb *Tables) buildTopo(g *TaskGraph) {
+	n := g.NumTasks()
+	tb.Topo = growInt(tb.Topo, n)[:0]
+	tb.indeg = growInt(tb.indeg, n)
+	tb.frontier = tb.frontier[:0]
+	tb.TopoErr = nil
+	for t := 0; t < n; t++ {
+		tb.indeg[t] = len(g.Pred[t])
+		if tb.indeg[t] == 0 {
+			tb.frontier = append(tb.frontier, t)
+		}
+	}
+	for len(tb.frontier) > 0 {
+		best := 0
+		for i := 1; i < len(tb.frontier); i++ {
+			if tb.frontier[i] < tb.frontier[best] {
+				best = i
+			}
+		}
+		t := tb.frontier[best]
+		tb.frontier = append(tb.frontier[:best], tb.frontier[best+1:]...)
+		tb.Topo = append(tb.Topo, t)
+		for _, d := range g.Succ[t] {
+			tb.indeg[d.To]--
+			if tb.indeg[d.To] == 0 {
+				tb.frontier = append(tb.frontier, d.To)
+			}
+		}
+	}
+	if len(tb.Topo) != n {
+		tb.TopoErr = cycleError(len(tb.Topo), n)
+	}
+}

@@ -1,0 +1,180 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// tablesTestInstance builds a small heterogeneous instance with a
+// diamond DAG, a zero-cost edge, and an infinite self-link row.
+func tablesTestInstance() *Instance {
+	g := NewTaskGraph()
+	a := g.AddTask("a", 2)
+	b := g.AddTask("b", 3)
+	c := g.AddTask("c", 0.5)
+	d := g.AddTask("d", 1.25)
+	g.MustAddDep(a, b, 4)
+	g.MustAddDep(a, c, 0) // zero data size: always free
+	g.MustAddDep(b, d, 1.5)
+	g.MustAddDep(c, d, 2.25)
+	net := NewNetwork(3)
+	net.Speeds[0], net.Speeds[1], net.Speeds[2] = 1, 2, 0.5
+	net.SetLink(0, 1, 3)
+	net.SetLink(0, 2, 0.25)
+	net.SetLink(1, 2, 7)
+	return NewInstance(g, net)
+}
+
+// TestTablesMatchInstanceMethods pins the tentpole's bit-compatibility
+// contract: every table entry equals (==) the Instance method it
+// replaces.
+func TestTablesMatchInstanceMethods(t *testing.T) {
+	inst := tablesTestInstance()
+	var tb Tables
+	tb.Build(inst)
+	tb.EnsureAvgComm()
+
+	nV := inst.Net.NumNodes()
+	for v := 0; v < nV; v++ {
+		if tb.InvSpeed[v] != 1/inst.Net.Speeds[v] {
+			t.Errorf("InvSpeed[%d] = %v", v, tb.InvSpeed[v])
+		}
+		for u := 0; u < nV; u++ {
+			if tb.Link(u, v) != inst.Net.Links[u][v] {
+				t.Errorf("Link(%d,%d) = %v, want %v", u, v, tb.Link(u, v), inst.Net.Links[u][v])
+			}
+			wantFree := u == v || math.IsInf(inst.Net.Links[u][v], 1)
+			if tb.CommFree(u, v) != wantFree {
+				t.Errorf("CommFree(%d,%d) = %v", u, v, tb.CommFree(u, v))
+			}
+		}
+	}
+	for tk := 0; tk < inst.Graph.NumTasks(); tk++ {
+		if tb.AvgExec[tk] != inst.AvgExecTime(tk) {
+			t.Errorf("AvgExec[%d] = %v, want %v", tk, tb.AvgExec[tk], inst.AvgExecTime(tk))
+		}
+		for v := 0; v < nV; v++ {
+			if tb.Exec[tk*nV+v] != inst.ExecTime(tk, v) {
+				t.Errorf("Exec[%d,%d] = %v, want %v", tk, v, tb.Exec[tk*nV+v], inst.ExecTime(tk, v))
+			}
+		}
+		for i, d := range inst.Graph.Succ[tk] {
+			if tb.AvgCommSucc(tk, i) != inst.AvgCommTime(tk, d.To) {
+				t.Errorf("AvgCommSucc(%d,%d) = %v, want %v", tk, i, tb.AvgCommSucc(tk, i), inst.AvgCommTime(tk, d.To))
+			}
+		}
+		for i, d := range inst.Graph.Pred[tk] {
+			if tb.AvgCommPred(tk, i) != inst.AvgCommTime(d.To, tk) {
+				t.Errorf("AvgCommPred(%d,%d) = %v, want %v", tk, i, tb.AvgCommPred(tk, i), inst.AvgCommTime(d.To, tk))
+			}
+		}
+	}
+	order, err := inst.Graph.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Topo) != len(order) {
+		t.Fatalf("Topo has %d tasks, want %d", len(tb.Topo), len(order))
+	}
+	for i := range order {
+		if tb.Topo[i] != order[i] {
+			t.Fatalf("Topo[%d] = %d, want %d", i, tb.Topo[i], order[i])
+		}
+	}
+}
+
+// TestTablesRebuildReusesStorage asserts the warm-rebuild contract
+// behind the zero-allocation hot path: Build on a same-shape instance
+// allocates nothing.
+func TestTablesRebuildReusesStorage(t *testing.T) {
+	inst := tablesTestInstance()
+	var tb Tables
+	tb.Build(inst)
+	tb.EnsureAvgComm()
+	inst.Graph.Tasks[0].Cost = 7 // mutate weights, keep the shape
+	inst.Net.Speeds[1] = 0.75
+	allocs := testing.AllocsPerRun(50, func() { tb.Build(inst); tb.EnsureAvgComm() })
+	if allocs != 0 {
+		t.Fatalf("warm Tables.Build allocated %v times, want 0", allocs)
+	}
+	if tb.AvgExec[0] != inst.AvgExecTime(0) {
+		t.Fatalf("rebuild stale: AvgExec[0] = %v, want %v", tb.AvgExec[0], inst.AvgExecTime(0))
+	}
+	for i, d := range inst.Graph.Succ[0] {
+		if tb.AvgCommSucc(0, i) != inst.AvgCommTime(0, d.To) {
+			t.Fatalf("rebuild stale: AvgCommSucc(0,%d) = %v, want %v",
+				i, tb.AvgCommSucc(0, i), inst.AvgCommTime(0, d.To))
+		}
+	}
+}
+
+// TestInstanceCopyFromMatchesClone checks the hot-loop copy against the
+// allocating reference, including after structural edits, and that a
+// warm copy of a same-shape instance allocates nothing.
+func TestInstanceCopyFromMatchesClone(t *testing.T) {
+	src := tablesTestInstance()
+	dst := &Instance{}
+	dst.CopyFrom(src)
+	assertInstanceEqual(t, "fresh copy", dst, src)
+
+	// Structural churn: remove an edge, add another, change weights, then
+	// copy again into the same buffers.
+	src.Graph.RemoveDep(0, 1)
+	src.Graph.MustAddDep(1, 2, 9)
+	src.Graph.Tasks[2].Cost = 11
+	src.Net.SetLink(0, 1, 13)
+	dst.CopyFrom(src)
+	assertInstanceEqual(t, "after structural churn", dst, src)
+
+	// Mutating the copy must not leak into the source (deep copy).
+	dst.Graph.Tasks[0].Cost = 999
+	dst.Net.Speeds[0] = 999
+	dst.Graph.SetDepCost(1, 2, 999)
+	if src.Graph.Tasks[0].Cost == 999 || src.Net.Speeds[0] == 999 {
+		t.Fatal("CopyFrom aliased source storage")
+	}
+	if c, _ := src.Graph.DepCost(1, 2); c == 999 {
+		t.Fatal("CopyFrom aliased adjacency storage")
+	}
+
+	dst.CopyFrom(src)
+	allocs := testing.AllocsPerRun(50, func() { dst.CopyFrom(src) })
+	if allocs != 0 {
+		t.Fatalf("warm CopyFrom allocated %v times, want 0", allocs)
+	}
+}
+
+func assertInstanceEqual(t *testing.T, label string, got, want *Instance) {
+	t.Helper()
+	if err := got.Validate(); err != nil {
+		t.Fatalf("%s: invalid copy: %v", label, err)
+	}
+	if got.Graph.NumTasks() != want.Graph.NumTasks() || got.Net.NumNodes() != want.Net.NumNodes() {
+		t.Fatalf("%s: shape mismatch", label)
+	}
+	for i, task := range want.Graph.Tasks {
+		if got.Graph.Tasks[i] != task {
+			t.Fatalf("%s: task %d = %+v, want %+v", label, i, got.Graph.Tasks[i], task)
+		}
+	}
+	for u := range want.Graph.Succ {
+		if len(got.Graph.Succ[u]) != len(want.Graph.Succ[u]) {
+			t.Fatalf("%s: Succ[%d] length mismatch", label, u)
+		}
+		for i, d := range want.Graph.Succ[u] {
+			if got.Graph.Succ[u][i] != d {
+				t.Fatalf("%s: Succ[%d][%d] mismatch", label, u, i)
+			}
+		}
+	}
+	for v, s := range want.Net.Speeds {
+		if got.Net.Speeds[v] != s {
+			t.Fatalf("%s: speed %d mismatch", label, v)
+		}
+		for u, w := range want.Net.Links[v] {
+			if got.Net.Links[v][u] != w {
+				t.Fatalf("%s: link (%d,%d) mismatch", label, v, u)
+			}
+		}
+	}
+}

@@ -30,13 +30,30 @@ func New(seed uint64) *RNG {
 	return r
 }
 
+// Reseed resets r to the exact state New(seed) would produce, reusing
+// the receiver — the allocation-free counterpart of New for hot loops
+// that re-run a fixed-seed stream (WBA's construction rounds).
+func (r *RNG) Reseed(seed uint64) {
+	r.inc = (seed << 1) | 1
+	r.state = seed + r.inc
+	r.next()
+}
+
 // Split derives an independent sub-stream from r. It advances r by one
 // draw, so derived streams are reproducible given the order of Split
 // calls. Use it to give each experiment, dataset instance, or annealing
 // restart its own generator.
 func (r *RNG) Split() *RNG {
-	s := uint64(r.next())<<32 | uint64(r.next())
-	return New(s)
+	child := &RNG{}
+	r.SplitInto(child)
+	return child
+}
+
+// SplitInto is Split writing into a caller-owned generator: child is
+// reseeded with the same derivation Split uses, so the streams are
+// identical, without allocating.
+func (r *RNG) SplitInto(child *RNG) {
+	child.Reseed(uint64(r.next())<<32 | uint64(r.next()))
 }
 
 func (r *RNG) next() uint32 {

@@ -56,6 +56,40 @@ type Checkpoint interface {
 	Flush() error
 }
 
+// OffsetCheckpoint returns a view of parent whose cell k is stored at
+// parent index offset+k. It lets one physical store serve a driver that
+// runs several sweeps in sequence (AppSpecificRun's benchmarking and
+// PISA phases): give each sweep a disjoint index window and the cells
+// never collide. Load returns every parent cell shifted by -offset;
+// cells belonging to other windows land outside [0, n) and are skipped
+// by Map's stale-cell filter.
+func OffsetCheckpoint(parent Checkpoint, offset int) Checkpoint {
+	return &offsetCheckpoint{parent: parent, offset: offset}
+}
+
+type offsetCheckpoint struct {
+	parent Checkpoint
+	offset int
+}
+
+func (c *offsetCheckpoint) Load() (map[int]json.RawMessage, error) {
+	cells, err := c.parent.Load()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]json.RawMessage, len(cells))
+	for k, raw := range cells {
+		out[k-c.offset] = raw
+	}
+	return out, nil
+}
+
+func (c *offsetCheckpoint) Store(index int, cell json.RawMessage) error {
+	return c.parent.Store(index+c.offset, cell)
+}
+
+func (c *offsetCheckpoint) Flush() error { return c.parent.Flush() }
+
 // CellError reports the failure of one cell of a sweep. With more than
 // one worker several cells may fail before the pool stops; Map returns
 // the failure with the lowest cell index, which for one worker is
@@ -98,6 +132,20 @@ func OffDiagonal(k, n int) (i, j int) {
 // no new cells are dispatched; the lowest-indexed failure is returned as
 // a *CellError. Results are independent of Options.Workers.
 func Map[T any](n int, opts Options, fn func(index int) (T, error)) ([]T, error) {
+	return MapState(n, opts,
+		func() struct{} { return struct{}{} },
+		func(index int, _ struct{}) (T, error) { return fn(index) })
+}
+
+// MapState is Map with per-worker state: newState runs once in each
+// worker goroutine and the value it returns is passed to every cell that
+// worker executes. It exists so sweeps can reuse expensive per-worker
+// buffers — a scheduler.Scratch, arena allocations — with zero
+// cross-worker sharing by construction (each worker owns its state; no
+// cell ever sees another worker's). State must not influence results:
+// cells still receive position-derived seeds, so output remains
+// bit-identical for every worker count.
+func MapState[T, S any](n int, opts Options, newState func() S, fn func(index int, state S) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
 		return out, nil
@@ -142,6 +190,7 @@ func Map[T any](n int, opts Options, fn func(index int) (T, error)) ([]T, error)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			state := newState()
 			for {
 				mu.Lock()
 				for next < n && done[next] {
@@ -155,7 +204,7 @@ func Map[T any](n int, opts Options, fn func(index int) (T, error)) ([]T, error)
 				next++
 				mu.Unlock()
 
-				v, err := runCell(k, fn)
+				v, err := runCell(k, state, fn)
 				if err == nil && opts.Checkpoint != nil {
 					var raw json.RawMessage
 					if raw, err = json.Marshal(v); err == nil {
@@ -199,13 +248,13 @@ func Map[T any](n int, opts Options, fn func(index int) (T, error)) ([]T, error)
 // runCell invokes fn for one cell, converting a panic into an error so a
 // single misbehaving cell cannot take down the whole sweep (or leak the
 // pool's other workers).
-func runCell[T any](k int, fn func(int) (T, error)) (v T, err error) {
+func runCell[T, S any](k int, state S, fn func(int, S) (T, error)) (v T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
 		}
 	}()
-	return fn(k)
+	return fn(k, state)
 }
 
 // Grid evaluates fn over every (row, col) cell of a rows×cols grid and

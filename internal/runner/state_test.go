@@ -1,0 +1,135 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// memCheckpoint is an in-memory Checkpoint for tests.
+type memCheckpoint struct {
+	mu    sync.Mutex
+	cells map[int]json.RawMessage
+}
+
+func newMemCheckpoint() *memCheckpoint {
+	return &memCheckpoint{cells: map[int]json.RawMessage{}}
+}
+
+func (m *memCheckpoint) Load() (map[int]json.RawMessage, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[int]json.RawMessage, len(m.cells))
+	for k, v := range m.cells {
+		out[k] = v
+	}
+	return out, nil
+}
+
+func (m *memCheckpoint) Store(index int, cell json.RawMessage) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cells[index] = cell
+	return nil
+}
+
+func (m *memCheckpoint) Flush() error { return nil }
+
+// TestMapStatePerWorkerState proves every worker goroutine receives its
+// own state value and that state reuse does not leak across cells of
+// different workers: each state records the cells it served, and the
+// union must partition [0, n).
+func TestMapStatePerWorkerState(t *testing.T) {
+	type state struct{ cells []int }
+	var mu sync.Mutex
+	var states []*state
+	n := 64
+	out, err := MapState(n, Options{Workers: 4},
+		func() *state {
+			s := &state{}
+			mu.Lock()
+			states = append(states, s)
+			mu.Unlock()
+			return s
+		},
+		func(k int, s *state) (int, error) {
+			s.cells = append(s.cells, k)
+			return k * k, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range out {
+		if v != k*k {
+			t.Fatalf("cell %d = %d, want %d", k, v, k*k)
+		}
+	}
+	if len(states) != 4 {
+		t.Fatalf("newState ran %d times, want once per worker (4)", len(states))
+	}
+	seen := make([]bool, n)
+	for _, s := range states {
+		for _, k := range s.cells {
+			if seen[k] {
+				t.Fatalf("cell %d served by two workers", k)
+			}
+			seen[k] = true
+		}
+	}
+	for k, ok := range seen {
+		if !ok {
+			t.Fatalf("cell %d never served", k)
+		}
+	}
+}
+
+// TestOffsetCheckpointPartitionsOneStore drives two sweeps of different
+// sizes against one physical store through disjoint index windows — the
+// AppSpecificRun layout — and checks that neither sweep sees the other's
+// cells and both resume from their own.
+func TestOffsetCheckpointPartitionsOneStore(t *testing.T) {
+	store := newMemCheckpoint()
+	nA, nB := 5, 12
+	runs := 0
+	// First sweep (window [0, nA)) completes fully.
+	a1, err := Map(nA, Options{Workers: 1, Checkpoint: OffsetCheckpoint(store, 0)},
+		func(k int) (int, error) { runs++; return 100 + k, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != nA {
+		t.Fatalf("sweep A ran %d cells, want %d", runs, nA)
+	}
+	// Second sweep (window [nA, nA+nB)) must not decode sweep A's cells.
+	runs = 0
+	b1, err := Map(nB, Options{Workers: 1, Checkpoint: OffsetCheckpoint(store, nA)},
+		func(k int) (int, error) { runs++; return 200 + k, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != nB {
+		t.Fatalf("sweep B ran %d cells, want %d (A's cells leaked in)", runs, nB)
+	}
+	// Resume both sweeps: every cell must come from the store.
+	a2, err := Map(nA, Options{Workers: 1, Checkpoint: OffsetCheckpoint(store, 0)},
+		func(k int) (int, error) { return 0, fmt.Errorf("cell %d recomputed on resume", k) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Map(nB, Options{Workers: 1, Checkpoint: OffsetCheckpoint(store, nA)},
+		func(k int) (int, error) { return 0, fmt.Errorf("cell %d recomputed on resume", k) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a1 {
+		if a1[k] != a2[k] {
+			t.Fatalf("sweep A cell %d: %d resumed as %d", k, a1[k], a2[k])
+		}
+	}
+	for k := range b1 {
+		if b1[k] != b2[k] {
+			t.Fatalf("sweep B cell %d: %d resumed as %d", k, b1[k], b2[k])
+		}
+	}
+}

@@ -3,7 +3,6 @@ package schedule
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"saga/internal/graph"
 )
@@ -12,8 +11,16 @@ import (
 // timelines so schedulers can query earliest feasible start times — with
 // or without insertion into idle gaps — and data-ready times implied by
 // already-placed prerequisites.
+//
+// A Builder is reusable: Reset rebinds it to an instance while keeping
+// every slice it has ever grown, so a warm builder runs a full
+// scheduling pass without allocating (the per-worker Scratch in package
+// scheduler owns one for exactly that purpose).
 type Builder struct {
 	inst      *graph.Instance
+	speeds    []float64   // inst.Net.Speeds, cached to skip pointer chains
+	links     [][]float64 // inst.Net.Links
+	exec      []float64   // optional graph.Tables.Exec matrix (nil = divide)
 	byTask    []Assignment
 	placed    []bool
 	timelines [][]Assignment // per node, sorted by Start
@@ -22,13 +29,56 @@ type Builder struct {
 
 // NewBuilder returns an empty builder for the instance.
 func NewBuilder(inst *graph.Instance) *Builder {
+	b := &Builder{}
+	b.Reset(inst)
+	return b
+}
+
+// Reset rebinds the builder to inst and clears all placements, reusing
+// the builder's existing storage. It leaves byTask contents stale —
+// placed gates every read — so the reset cost is O(|T| + |V|).
+func (b *Builder) Reset(inst *graph.Instance) {
+	b.ResetTables(inst, nil)
+}
+
+// ResetTables is Reset with precomputed tables: execution times come
+// from the dense Exec matrix instead of a per-query division. Each
+// matrix entry is the identical division done once at table-build time,
+// so the two paths are bit-equal; tab must have been built for inst.
+func (b *Builder) ResetTables(inst *graph.Instance, tab *graph.Tables) {
 	n := inst.Graph.NumTasks()
-	return &Builder{
-		inst:      inst,
-		byTask:    make([]Assignment, n),
-		placed:    make([]bool, n),
-		timelines: make([][]Assignment, inst.Net.NumNodes()),
+	nv := inst.Net.NumNodes()
+	b.inst = inst
+	b.speeds = inst.Net.Speeds
+	b.links = inst.Net.Links
+	b.exec = nil
+	if tab != nil {
+		b.exec = tab.Exec
 	}
+	if cap(b.byTask) < n {
+		b.byTask = make([]Assignment, n)
+	} else {
+		b.byTask = b.byTask[:n]
+	}
+	if cap(b.placed) < n {
+		b.placed = make([]bool, n)
+	} else {
+		b.placed = b.placed[:n]
+		for t := range b.placed {
+			b.placed[t] = false
+		}
+	}
+	if cap(b.timelines) < nv {
+		grown := make([][]Assignment, nv)
+		copy(grown, b.timelines[:cap(b.timelines)])
+		b.timelines = grown
+	} else {
+		b.timelines = b.timelines[:nv]
+	}
+	for v := range b.timelines {
+		b.timelines[v] = b.timelines[v][:0]
+	}
+	b.nPlaced = 0
 }
 
 // Instance returns the instance the builder schedules.
@@ -59,6 +109,19 @@ func (b *Builder) NodeAvailable(v int) float64 {
 	return tl[len(tl)-1].End
 }
 
+// commTime is the builder-local fast path of Instance.CommTime for an
+// edge whose data size is already at hand (adjacency lists carry the
+// cost in both directions, so the per-call successor-list scan
+// Instance.CommTime does is pure overhead here). The arithmetic is
+// bit-identical: same-node and zero-size transfers are free, everything
+// else is cost divided by the raw link strength.
+func (b *Builder) commTime(cost float64, from, to int) float64 {
+	if from == to || cost == 0 {
+		return 0
+	}
+	return cost / b.links[from][to]
+}
+
 // ReadyTime returns the earliest time all of t's inputs can be available
 // on node v, i.e. max over placed predecessors u of end(u) + comm(u→t).
 // ok is false if some predecessor of t is not yet placed.
@@ -69,7 +132,7 @@ func (b *Builder) ReadyTime(t, v int) (ready float64, ok bool) {
 			return 0, false
 		}
 		au := b.byTask[u]
-		arrive := au.End + b.inst.CommTime(u, t, au.Node, v)
+		arrive := au.End + b.commTime(d.Cost, au.Node, v)
 		if arrive > ready {
 			ready = arrive
 		}
@@ -88,7 +151,7 @@ func (b *Builder) EnablingPredecessor(t, v int) (pred int, arrive float64, ok bo
 			return -1, 0, false
 		}
 		au := b.byTask[u]
-		at := au.End + b.inst.CommTime(u, t, au.Node, v)
+		at := au.End + b.commTime(d.Cost, au.Node, v)
 		if at > arrive || pred == -1 {
 			arrive, pred = at, u
 		}
@@ -125,6 +188,14 @@ func (b *Builder) EarliestStart(v int, ready, duration float64, insertion bool) 
 	return start
 }
 
+// execTime returns c(t)/s(v), from the dense table when one is bound.
+func (b *Builder) execTime(t, v int) float64 {
+	if b.exec != nil {
+		return b.exec[t*len(b.speeds)+v]
+	}
+	return b.inst.Graph.Tasks[t].Cost / b.speeds[v]
+}
+
 // EFT returns the earliest start and finish of task t on node v under the
 // given insertion policy. ok is false if a predecessor of t is unplaced.
 func (b *Builder) EFT(t, v int, insertion bool) (start, finish float64, ok bool) {
@@ -132,7 +203,7 @@ func (b *Builder) EFT(t, v int, insertion bool) (start, finish float64, ok bool)
 	if !ok {
 		return 0, 0, false
 	}
-	dur := b.inst.ExecTime(t, v)
+	dur := b.execTime(t, v)
 	start = b.EarliestStart(v, ready, dur, insertion)
 	return start, start + dur, true
 }
@@ -144,15 +215,25 @@ func (b *Builder) Place(t, v int, start float64) Assignment {
 	if b.placed[t] {
 		panic(fmt.Sprintf("schedule: task %d placed twice", t))
 	}
-	a := Assignment{Task: t, Node: v, Start: start, End: start + b.inst.ExecTime(t, v)}
+	a := Assignment{Task: t, Node: v, Start: start, End: start + b.execTime(t, v)}
 	b.byTask[t] = a
 	b.placed[t] = true
 	b.nPlaced++
 	tl := b.timelines[v]
-	i := sort.Search(len(tl), func(i int) bool { return tl[i].Start >= a.Start })
+	// Binary search for the insertion point (a hand-rolled sort.Search so
+	// the hot path carries no closure).
+	lo, hi := 0, len(tl)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if tl[mid].Start < a.Start {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
 	tl = append(tl, Assignment{})
-	copy(tl[i+1:], tl[i:])
-	tl[i] = a
+	copy(tl[lo+1:], tl[lo:])
+	tl[lo] = a
 	b.timelines[v] = tl
 	return a
 }
@@ -171,7 +252,7 @@ func (b *Builder) PlaceEFT(t, v int, insertion bool) Assignment {
 // the corresponding start. Ties break toward the lower node index.
 func (b *Builder) BestEFTNode(t int, insertion bool) (node int, start float64) {
 	bestNode, bestStart, bestFinish := -1, 0.0, math.Inf(1)
-	for v := 0; v < b.inst.Net.NumNodes(); v++ {
+	for v := 0; v < len(b.speeds); v++ {
 		s, f, ok := b.EFT(t, v, insertion)
 		if !ok {
 			panic(fmt.Sprintf("schedule: task %d has unplaced predecessors", t))
@@ -188,6 +269,9 @@ func (b *Builder) BestEFTNode(t int, insertion bool) (node int, start float64) {
 func (b *Builder) Clone() *Builder {
 	c := &Builder{
 		inst:      b.inst,
+		speeds:    b.speeds,
+		links:     b.links,
+		exec:      b.exec,
 		byTask:    append([]Assignment(nil), b.byTask...),
 		placed:    append([]bool(nil), b.placed...),
 		timelines: make([][]Assignment, len(b.timelines)),
@@ -210,16 +294,25 @@ func (b *Builder) Makespan() float64 {
 	return m
 }
 
+// ScheduleInto finalizes the builder into out, reusing out's assignment
+// slice. It returns an error if any task remains unplaced.
+func (b *Builder) ScheduleInto(out *Schedule) error {
+	for t, p := range b.placed {
+		if !p {
+			return fmt.Errorf("schedule: task %d never placed", t)
+		}
+	}
+	out.NumNodes = len(b.speeds)
+	out.ByTask = append(out.ByTask[:0], b.byTask...)
+	return nil
+}
+
 // Schedule finalizes the builder. It returns an error if any task remains
 // unplaced.
 func (b *Builder) Schedule() (*Schedule, error) {
-	for t, p := range b.placed {
-		if !p {
-			return nil, fmt.Errorf("schedule: task %d never placed", t)
-		}
+	out := &Schedule{}
+	if err := b.ScheduleInto(out); err != nil {
+		return nil, err
 	}
-	return &Schedule{
-		NumNodes: b.inst.Net.NumNodes(),
-		ByTask:   append([]Assignment(nil), b.byTask...),
-	}, nil
+	return out, nil
 }

@@ -7,7 +7,7 @@ package schedule
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"saga/internal/graph"
 )
@@ -41,19 +41,42 @@ func (s *Schedule) Makespan() float64 {
 	return m
 }
 
+// CopyFrom makes s a deep copy of src, reusing s's assignment slice.
+// Ensemble-style schedulers use it to keep a best-so-far schedule
+// without per-candidate allocation.
+func (s *Schedule) CopyFrom(src *Schedule) {
+	s.NumNodes = src.NumNodes
+	s.ByTask = append(s.ByTask[:0], src.ByTask...)
+}
+
+// cmpGantt orders assignments by (node, start, task) — the order a Gantt
+// chart draws them in. It is a typed comparison so hot paths sorting
+// with it stay closure- and reflection-free.
+func cmpGantt(a, b Assignment) int {
+	switch {
+	case a.Node != b.Node:
+		if a.Node < b.Node {
+			return -1
+		}
+		return 1
+	case a.Start != b.Start:
+		if a.Start < b.Start {
+			return -1
+		}
+		return 1
+	case a.Task < b.Task:
+		return -1
+	case a.Task > b.Task:
+		return 1
+	}
+	return 0
+}
+
 // Assignments returns all assignments sorted by (node, start) — the order
 // a Gantt chart draws them in.
 func (s *Schedule) Assignments() []Assignment {
 	out := append([]Assignment(nil), s.ByTask...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Node != out[j].Node {
-			return out[i].Node < out[j].Node
-		}
-		if out[i].Start != out[j].Start {
-			return out[i].Start < out[j].Start
-		}
-		return out[i].Task < out[j].Task
-	})
+	slices.SortFunc(out, cmpGantt)
 	return out
 }
 
@@ -95,7 +118,22 @@ func Validate(inst *graph.Instance, s *Schedule) error {
 		perNode[a.Node] = append(perNode[a.Node], a)
 	}
 	for v, as := range perNode {
-		sort.Slice(as, func(i, j int) bool { return as[i].Start < as[j].Start })
+		// Full (start, end, task) order: deterministic under ties, and
+		// zero-duration tasks sharing a start sort before the block that
+		// occupies the instant, which is the permissive reading.
+		slices.SortFunc(as, func(a, b Assignment) int {
+			switch {
+			case a.Start < b.Start:
+				return -1
+			case a.Start > b.Start:
+				return 1
+			case a.End < b.End:
+				return -1
+			case a.End > b.End:
+				return 1
+			}
+			return a.Task - b.Task
+		})
 		for i := 1; i < len(as); i++ {
 			if !graph.ApproxLE(as[i-1].End, as[i].Start) {
 				return fmt.Errorf("schedule: tasks %d and %d overlap on node %d",

@@ -6,6 +6,7 @@ package scheduler
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"saga/internal/graph"
@@ -42,6 +43,45 @@ func RequirementsOf(s Scheduler) Requirements {
 		return c.Requirements()
 	}
 	return Requirements{}
+}
+
+// ScratchScheduler is implemented by algorithms whose Schedule can run
+// against caller-owned reusable state: the precomputed tables, builder
+// and buffers of a Scratch, writing the result into a caller-owned
+// Schedule. A warm (scratch, out) pair makes the whole call
+// allocation-free, which is what the PISA inner loop needs. The
+// schedules produced are bit-identical to the plain Schedule path.
+type ScratchScheduler interface {
+	Scheduler
+	ScheduleScratch(inst *graph.Instance, scr *Scratch, out *schedule.Schedule) error
+}
+
+// ScheduleInto runs s on inst, reusing scr and writing into out. It
+// takes the allocation-free path when s implements ScratchScheduler and
+// falls back to a plain Schedule call (copying the result into out)
+// otherwise, so callers can thread scratch through mixed rosters.
+func ScheduleInto(s Scheduler, inst *graph.Instance, scr *Scratch, out *schedule.Schedule) error {
+	if ss, ok := s.(ScratchScheduler); ok {
+		return ss.ScheduleScratch(inst, scr, out)
+	}
+	sch, err := s.Schedule(inst)
+	if err != nil {
+		return err
+	}
+	out.CopyFrom(sch)
+	return nil
+}
+
+// RunScratch is the plain-Schedule implementation shared by every
+// scratch-aware algorithm: a fresh scratch and schedule per call. The
+// single code path guarantees Schedule and ScheduleScratch cannot
+// diverge.
+func RunScratch(s ScratchScheduler, inst *graph.Instance) (*schedule.Schedule, error) {
+	out := &schedule.Schedule{}
+	if err := s.ScheduleScratch(inst, NewScratch(), out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Func adapts a plain function into a Scheduler.
@@ -92,22 +132,31 @@ func Names() []string {
 // communication time plus the successor's rank. Sink tasks have rank
 // equal to their average execution time.
 func UpwardRank(inst *graph.Instance) []float64 {
+	var tab graph.Tables
+	tab.Build(inst)
+	return UpwardRankInto(inst, &tab, nil)
+}
+
+// UpwardRankInto is UpwardRank reading the precomputed tables and
+// writing into dst (grown as needed) — the allocation-free hot path.
+func UpwardRankInto(inst *graph.Instance, tab *graph.Tables, dst []float64) []float64 {
 	g := inst.Graph
-	rank := make([]float64, g.NumTasks())
-	order, err := g.TopoOrder()
-	if err != nil {
-		panic("scheduler: UpwardRank on cyclic graph: " + err.Error())
+	rank := growFloats(dst, g.NumTasks())
+	if tab.TopoErr != nil {
+		panic("scheduler: UpwardRank on cyclic graph: " + tab.TopoErr.Error())
 	}
+	tab.EnsureAvgComm()
+	order := tab.Topo
 	for i := len(order) - 1; i >= 0; i-- {
 		t := order[i]
 		best := 0.0
-		for _, d := range g.Succ[t] {
-			v := inst.AvgCommTime(t, d.To) + rank[d.To]
+		for j, d := range g.Succ[t] {
+			v := tab.AvgCommSucc(t, j) + rank[d.To]
 			if v > best {
 				best = v
 			}
 		}
-		rank[t] = inst.AvgExecTime(t) + best
+		rank[t] = tab.AvgExec[t] + best
 	}
 	return rank
 }
@@ -116,17 +165,25 @@ func UpwardRank(inst *graph.Instance) []float64 {
 // longest average-time path from an entry task to (but not including)
 // the task itself. Entry tasks have rank 0.
 func DownwardRank(inst *graph.Instance) []float64 {
+	var tab graph.Tables
+	tab.Build(inst)
+	return DownwardRankInto(inst, &tab, nil)
+}
+
+// DownwardRankInto is DownwardRank reading the precomputed tables and
+// writing into dst.
+func DownwardRankInto(inst *graph.Instance, tab *graph.Tables, dst []float64) []float64 {
 	g := inst.Graph
-	rank := make([]float64, g.NumTasks())
-	order, err := g.TopoOrder()
-	if err != nil {
-		panic("scheduler: DownwardRank on cyclic graph: " + err.Error())
+	rank := growFloats(dst, g.NumTasks())
+	if tab.TopoErr != nil {
+		panic("scheduler: DownwardRank on cyclic graph: " + tab.TopoErr.Error())
 	}
-	for _, t := range order {
+	tab.EnsureAvgComm()
+	for _, t := range tab.Topo {
 		best := 0.0
-		for _, d := range g.Pred[t] {
+		for j, d := range g.Pred[t] {
 			u := d.To
-			v := rank[u] + inst.AvgExecTime(u) + inst.AvgCommTime(u, t)
+			v := rank[u] + tab.AvgExec[u] + tab.AvgCommPred(t, j)
 			if v > best {
 				best = v
 			}
@@ -139,12 +196,20 @@ func DownwardRank(inst *graph.Instance) []float64 {
 // StaticLevel computes the communication-free static level used by
 // GDL/DLS and FCP: SL(t) = avg exec(t) + max over successors SL(s).
 func StaticLevel(inst *graph.Instance) []float64 {
+	var tab graph.Tables
+	tab.Build(inst)
+	return StaticLevelInto(inst, &tab, nil)
+}
+
+// StaticLevelInto is StaticLevel reading the precomputed tables and
+// writing into dst.
+func StaticLevelInto(inst *graph.Instance, tab *graph.Tables, dst []float64) []float64 {
 	g := inst.Graph
-	sl := make([]float64, g.NumTasks())
-	order, err := g.TopoOrder()
-	if err != nil {
-		panic("scheduler: StaticLevel on cyclic graph: " + err.Error())
+	sl := growFloats(dst, g.NumTasks())
+	if tab.TopoErr != nil {
+		panic("scheduler: StaticLevel on cyclic graph: " + tab.TopoErr.Error())
 	}
+	order := tab.Topo
 	for i := len(order) - 1; i >= 0; i-- {
 		t := order[i]
 		best := 0.0
@@ -153,25 +218,38 @@ func StaticLevel(inst *graph.Instance) []float64 {
 				best = sl[d.To]
 			}
 		}
-		sl[t] = inst.AvgExecTime(t) + best
+		sl[t] = tab.AvgExec[t] + best
 	}
 	return sl
+}
+
+// growFloats returns dst resized to n, reusing capacity.
+func growFloats(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
 }
 
 // OrderByPriority returns task indices sorted by decreasing priority,
 // breaking ties toward the lower task index. The result is always a valid
 // topological order when the priorities are strictly decreasing along
-// edges (true for UpwardRank on graphs with positive task costs).
+// edges (true for UpwardRank on graphs with positive task costs). The
+// (priority desc, index asc) comparison is a total order over distinct
+// indices, so the typed unstable sort is deterministic.
 func OrderByPriority(priority []float64) []int {
 	order := make([]int, len(priority))
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		if priority[order[a]] != priority[order[b]] {
-			return priority[order[a]] > priority[order[b]]
+	slices.SortFunc(order, func(a, b int) int {
+		switch {
+		case priority[a] > priority[b]:
+			return -1
+		case priority[a] < priority[b]:
+			return 1
 		}
-		return order[a] < order[b]
+		return a - b
 	})
 	return order
 }
@@ -185,7 +263,13 @@ func OrderByPriority(priority []float64) []int {
 // ties (which PISA's weight perturbations readily create).
 func TopoOrderByPriority(g *graph.TaskGraph, priority []float64) []int {
 	rs := NewReadySet(g)
-	order := make([]int, 0, g.NumTasks())
+	return topoOrderByPriority(rs, g, priority, make([]int, 0, g.NumTasks()))
+}
+
+// topoOrderByPriority appends the priority topological order to dst
+// using the caller's ready set (the buffer-reuse core shared with
+// Scratch.TopoOrderByPriority).
+func topoOrderByPriority(rs *ReadySet, g *graph.TaskGraph, priority []float64, dst []int) []int {
 	for !rs.Empty() {
 		ready := rs.Ready()
 		best := ready[0]
@@ -194,13 +278,13 @@ func TopoOrderByPriority(g *graph.TaskGraph, priority []float64) []int {
 				best = t
 			}
 		}
-		order = append(order, best)
+		dst = append(dst, best)
 		rs.Complete(best)
 	}
-	if len(order) != g.NumTasks() {
+	if len(dst) != g.NumTasks() {
 		panic("scheduler: TopoOrderByPriority on cyclic graph")
 	}
-	return order
+	return dst
 }
 
 // ReadySet maintains the frontier of schedulable tasks (all prerequisites
@@ -214,14 +298,28 @@ type ReadySet struct {
 // NewReadySet builds the frontier for the graph: initially its source
 // tasks.
 func NewReadySet(g *graph.TaskGraph) *ReadySet {
-	rs := &ReadySet{g: g, pending: make([]int, g.NumTasks())}
-	for t := 0; t < g.NumTasks(); t++ {
+	rs := &ReadySet{}
+	rs.Reset(g)
+	return rs
+}
+
+// Reset rebinds the set to g and rebuilds the initial frontier, reusing
+// the set's storage.
+func (rs *ReadySet) Reset(g *graph.TaskGraph) {
+	n := g.NumTasks()
+	rs.g = g
+	if cap(rs.pending) < n {
+		rs.pending = make([]int, n)
+	} else {
+		rs.pending = rs.pending[:n]
+	}
+	rs.ready = rs.ready[:0]
+	for t := 0; t < n; t++ {
 		rs.pending[t] = len(g.Pred[t])
 		if rs.pending[t] == 0 {
 			rs.ready = append(rs.ready, t)
 		}
 	}
-	return rs
 }
 
 // Ready returns the current frontier (sorted by task index). The slice is

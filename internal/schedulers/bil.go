@@ -49,28 +49,35 @@ func (BIL) Requirements() scheduler.Requirements {
 }
 
 // bilLevels computes BIL(t, v) for every task and node, bottom-up in
-// reverse topological order.
-func bilLevels(inst *graph.Instance) [][]float64 {
+// reverse topological order, into the flat row-major dst (stride nNodes)
+// so a warm scratch buffer serves every call. The communication term
+// divides the edge cost by the raw link strength exactly as
+// Instance.CommTime does.
+func bilLevels(inst *graph.Instance, tab *graph.Tables, dst []float64) []float64 {
 	g := inst.Graph
 	nNodes := inst.Net.NumNodes()
-	bil := make([][]float64, g.NumTasks())
-	order, err := g.TopoOrder()
-	if err != nil {
-		panic("schedulers: BIL on cyclic graph: " + err.Error())
+	bil := dst
+	if tab.TopoErr != nil {
+		panic("schedulers: BIL on cyclic graph: " + tab.TopoErr.Error())
 	}
+	order := tab.Topo
 	for i := len(order) - 1; i >= 0; i-- {
 		t := order[i]
-		bil[t] = make([]float64, nNodes)
 		for v := 0; v < nNodes; v++ {
 			level := 0.0
 			for _, d := range g.Succ[t] {
 				s := d.To
-				best := bil[s][v] // stay on v: no communication
+				best := bil[s*nNodes+v] // stay on v: no communication
+				cost := d.Cost
 				for v2 := 0; v2 < nNodes; v2++ {
 					if v2 == v {
 						continue
 					}
-					cand := bil[s][v2] + inst.CommTime(t, s, v, v2)
+					comm := 0.0
+					if cost != 0 {
+						comm = cost / tab.Link(v, v2)
+					}
+					cand := bil[s*nNodes+v2] + comm
 					if cand < best {
 						best = cand
 					}
@@ -79,18 +86,24 @@ func bilLevels(inst *graph.Instance) [][]float64 {
 					level = best
 				}
 			}
-			bil[t][v] = inst.ExecTime(t, v) + level
+			bil[t*nNodes+v] = inst.ExecTime(t, v) + level
 		}
 	}
 	return bil
 }
 
 // Schedule implements scheduler.Scheduler.
-func (BIL) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
-	b := schedule.NewBuilder(inst)
-	bil := bilLevels(inst)
+func (s BIL) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	return scheduler.RunScratch(s, inst)
+}
+
+// ScheduleScratch implements scheduler.ScratchScheduler.
+func (BIL) ScheduleScratch(inst *graph.Instance, scr *scheduler.Scratch, out *schedule.Schedule) error {
 	nNodes := inst.Net.NumNodes()
-	rs := scheduler.NewReadySet(inst.Graph)
+	tab := scr.Tables(inst)
+	bil := bilLevels(inst, tab, scr.Floats(inst.Graph.NumTasks()*nNodes))
+	b := scr.Builder(inst)
+	rs := scr.ReadySet(inst.Graph)
 	for !rs.Empty() {
 		ready := rs.Ready()
 		k := float64(len(ready))
@@ -105,7 +118,7 @@ func (BIL) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
 				if !ok {
 					panic("schedulers: BIL ready task with unplaced predecessor")
 				}
-				if bim := s + bil[t][v]; bim > crit {
+				if bim := s + bil[t*nNodes+v]; bim > crit {
 					crit = bim
 				}
 			}
@@ -119,7 +132,7 @@ func (BIL) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
 		bestNode, bestStart, bestBIM := -1, 0.0, math.Inf(1)
 		for v := 0; v < nNodes; v++ {
 			s, _, _ := b.EFT(bestTask, v, false)
-			bim := s + bil[bestTask][v] + inst.ExecTime(bestTask, v)*adjust
+			bim := s + bil[bestTask*nNodes+v] + inst.ExecTime(bestTask, v)*adjust
 			if bim < bestBIM-graph.Eps {
 				bestNode, bestStart, bestBIM = v, s, bim
 			}
@@ -127,5 +140,5 @@ func (BIL) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
 		b.Place(bestTask, bestNode, bestStart)
 		rs.Complete(bestTask)
 	}
-	return b.Schedule()
+	return b.ScheduleInto(out)
 }

@@ -22,19 +22,22 @@ func bilChain() *graph.Instance {
 
 func TestBILLevelsHandComputed(t *testing.T) {
 	inst := bilChain()
-	bil := bilLevels(inst)
+	var tab graph.Tables
+	tab.Build(inst)
+	// The flat level matrix is row-major with stride |V| = 2.
+	bil := bilLevels(inst, &tab, make([]float64, inst.Graph.NumTasks()*2))
 	// Sink b: BIL(b, v) = exec(b, v).
-	if !graph.ApproxEq(bil[1][0], 4) || !graph.ApproxEq(bil[1][1], 2) {
-		t.Fatalf("BIL(b) = %v, want [4 2]", bil[1])
+	if !graph.ApproxEq(bil[1*2+0], 4) || !graph.ApproxEq(bil[1*2+1], 2) {
+		t.Fatalf("BIL(b) = %v, want [4 2]", bil[2:4])
 	}
 	// a on node 0: exec 2 + max over succ of
 	//   min(BIL(b,0)=4 stay, BIL(b,1)+comm(6/3)=2+2=4 move) = 4 → 6.
-	if !graph.ApproxEq(bil[0][0], 6) {
-		t.Fatalf("BIL(a,0) = %v, want 6", bil[0][0])
+	if !graph.ApproxEq(bil[0*2+0], 6) {
+		t.Fatalf("BIL(a,0) = %v, want 6", bil[0])
 	}
 	// a on node 1: exec 1 + min(BIL(b,1)=2 stay, BIL(b,0)+2=6 move) = 2 → 3.
-	if !graph.ApproxEq(bil[0][1], 3) {
-		t.Fatalf("BIL(a,1) = %v, want 3", bil[0][1])
+	if !graph.ApproxEq(bil[0*2+1], 3) {
+		t.Fatalf("BIL(a,1) = %v, want 3", bil[1])
 	}
 }
 

@@ -28,11 +28,16 @@ type CPoP struct{}
 func (CPoP) Name() string { return "CPoP" }
 
 // Schedule implements scheduler.Scheduler.
-func (CPoP) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+func (c CPoP) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	return scheduler.RunScratch(c, inst)
+}
+
+// ScheduleScratch implements scheduler.ScratchScheduler.
+func (CPoP) ScheduleScratch(inst *graph.Instance, scr *scheduler.Scratch, out *schedule.Schedule) error {
 	g := inst.Graph
-	up := scheduler.UpwardRank(inst)
-	down := scheduler.DownwardRank(inst)
-	prio := make([]float64, g.NumTasks())
+	up := scr.UpwardRank(inst)
+	down := scr.DownwardRank(inst)
+	prio := scr.Floats(g.NumTasks())
 	cpLen := 0.0
 	for t := range prio {
 		prio[t] = up[t] + down[t]
@@ -43,7 +48,7 @@ func (CPoP) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
 
 	// The critical path is every task whose through-path length equals
 	// the longest path length.
-	onCP := make([]bool, g.NumTasks())
+	onCP := scr.Bools(g.NumTasks())
 	for t := range prio {
 		onCP[t] = graph.ApproxEq(prio[t], cpLen)
 	}
@@ -64,8 +69,8 @@ func (CPoP) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
 		}
 	}
 
-	b := schedule.NewBuilder(inst)
-	for _, t := range scheduler.TopoOrderByPriority(g, prio) {
+	b := scr.Builder(inst)
+	for _, t := range scr.TopoOrderByPriority(g, prio) {
 		if onCP[t] {
 			b.PlaceEFT(t, cpNode, true)
 			continue
@@ -73,5 +78,5 @@ func (CPoP) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
 		v, start := b.BestEFTNode(t, true)
 		b.Place(t, v, start)
 	}
-	return b.Schedule()
+	return b.ScheduleInto(out)
 }

@@ -55,15 +55,25 @@ func (e *Ensemble) Name() string { return e.name }
 // Schedule implements scheduler.Scheduler: the best member schedule by
 // makespan (ties go to the earlier member).
 func (e *Ensemble) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
-	var best *schedule.Schedule
+	return scheduler.RunScratch(e, inst)
+}
+
+// ScheduleScratch implements scheduler.ScratchScheduler: every member
+// runs against the shared scratch (scratch-aware members allocation-free,
+// plain members through their Schedule fallback), and the incumbent best
+// is kept in out.
+func (e *Ensemble) ScheduleScratch(inst *graph.Instance, scr *scheduler.Scratch, out *schedule.Schedule) error {
+	tmp := scr.AcquireSchedule()
+	defer scr.ReleaseSchedule(tmp)
+	first := true
 	for _, m := range e.members {
-		s, err := m.Schedule(inst)
-		if err != nil {
-			return nil, fmt.Errorf("schedulers: ensemble member %s: %w", m.Name(), err)
+		if err := scheduler.ScheduleInto(m, inst, scr, tmp); err != nil {
+			return fmt.Errorf("schedulers: ensemble member %s: %w", m.Name(), err)
 		}
-		if best == nil || s.Makespan() < best.Makespan()-graph.Eps {
-			best = s
+		if first || tmp.Makespan() < out.Makespan()-graph.Eps {
+			out.CopyFrom(tmp)
+			first = false
 		}
 	}
-	return best, nil
+	return nil
 }

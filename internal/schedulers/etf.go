@@ -33,10 +33,15 @@ func (ETF) Requirements() scheduler.Requirements {
 }
 
 // Schedule implements scheduler.Scheduler.
-func (ETF) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
-	b := schedule.NewBuilder(inst)
-	rank := scheduler.UpwardRank(inst)
-	rs := scheduler.NewReadySet(inst.Graph)
+func (e ETF) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	return scheduler.RunScratch(e, inst)
+}
+
+// ScheduleScratch implements scheduler.ScratchScheduler.
+func (ETF) ScheduleScratch(inst *graph.Instance, scr *scheduler.Scratch, out *schedule.Schedule) error {
+	rank := scr.UpwardRank(inst)
+	b := scr.Builder(inst)
+	rs := scr.ReadySet(inst.Graph)
 	for !rs.Empty() {
 		bestTask, bestNode := -1, -1
 		bestStart := 0.0
@@ -59,5 +64,5 @@ func (ETF) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
 		b.Place(bestTask, bestNode, bestStart)
 		rs.Complete(bestTask)
 	}
-	return b.Schedule()
+	return b.ScheduleInto(out)
 }

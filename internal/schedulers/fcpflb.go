@@ -16,32 +16,37 @@ func init() {
 // candidateNodes returns the FCP/FLB restricted processor set for ready
 // task t: the node that becomes idle earliest and the enabling processor
 // (the node running the predecessor whose message would arrive last —
-// placing t there makes that transfer free). The two may coincide; for
-// entry tasks only the earliest-idle node is returned.
-func candidateNodes(b *schedule.Builder, t int) []int {
+// placing t there makes that transfer free). The two may coincide;
+// second is -1 when only the earliest-idle node applies (entry tasks),
+// so the pair needs no per-call slice.
+func candidateNodes(b *schedule.Builder, t int) (first, second int) {
 	idle, idleAt := 0, math.Inf(1)
 	for v := 0; v < b.Instance().Net.NumNodes(); v++ {
 		if a := b.NodeAvailable(v); a < idleAt-graph.Eps {
 			idle, idleAt = v, a
 		}
 	}
-	out := []int{idle}
+	second = -1
 	// The enabling processor is defined relative to receiving the data on
 	// the earliest-idle node.
 	if pred, _, ok := b.EnablingPredecessor(t, idle); ok {
 		ep := b.Assignment(pred).Node
 		if ep != idle {
-			out = append(out, ep)
+			second = ep
 		}
 	}
-	return out
+	return idle, second
 }
 
 // bestCandidateEFT returns, among t's candidate nodes, the one with the
 // earliest finish time.
 func bestCandidateEFT(b *schedule.Builder, t int) (node int, start, finish float64) {
 	node, start, finish = -1, 0, math.Inf(1)
-	for _, v := range candidateNodes(b, t) {
+	c1, c2 := candidateNodes(b, t)
+	for _, v := range [2]int{c1, c2} {
+		if v < 0 {
+			continue
+		}
 		s, f, ok := b.EFT(t, v, false)
 		if !ok {
 			panic("schedulers: FCP/FLB ready task with unplaced predecessor")
@@ -76,10 +81,15 @@ func (FCP) Requirements() scheduler.Requirements {
 }
 
 // Schedule implements scheduler.Scheduler.
-func (FCP) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
-	b := schedule.NewBuilder(inst)
-	rank := scheduler.UpwardRank(inst)
-	rs := scheduler.NewReadySet(inst.Graph)
+func (f FCP) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	return scheduler.RunScratch(f, inst)
+}
+
+// ScheduleScratch implements scheduler.ScratchScheduler.
+func (FCP) ScheduleScratch(inst *graph.Instance, scr *scheduler.Scratch, out *schedule.Schedule) error {
+	rank := scr.UpwardRank(inst)
+	b := scr.Builder(inst)
+	rs := scr.ReadySet(inst.Graph)
 	for !rs.Empty() {
 		// Pop the highest-priority ready task.
 		ready := rs.Ready()
@@ -93,7 +103,7 @@ func (FCP) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
 		b.Place(t, v, start)
 		rs.Complete(t)
 	}
-	return b.Schedule()
+	return b.ScheduleInto(out)
 }
 
 // FLB is Fast Load Balancing (Radulescu & van Gemund), FCP's companion
@@ -117,9 +127,14 @@ func (FLB) Requirements() scheduler.Requirements {
 }
 
 // Schedule implements scheduler.Scheduler.
-func (FLB) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
-	b := schedule.NewBuilder(inst)
-	rs := scheduler.NewReadySet(inst.Graph)
+func (f FLB) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	return scheduler.RunScratch(f, inst)
+}
+
+// ScheduleScratch implements scheduler.ScratchScheduler.
+func (FLB) ScheduleScratch(inst *graph.Instance, scr *scheduler.Scratch, out *schedule.Schedule) error {
+	b := scr.Builder(inst)
+	rs := scr.ReadySet(inst.Graph)
 	for !rs.Empty() {
 		bestTask, bestNode := -1, -1
 		bestStart, bestFinish := 0.0, math.Inf(1)
@@ -132,5 +147,5 @@ func (FLB) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
 		b.Place(bestTask, bestNode, bestStart)
 		rs.Complete(bestTask)
 	}
-	return b.Schedule()
+	return b.ScheduleInto(out)
 }

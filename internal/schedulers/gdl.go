@@ -38,15 +38,21 @@ func (GDL) Requirements() scheduler.Requirements {
 }
 
 // Schedule implements scheduler.Scheduler.
-func (GDL) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
-	b := schedule.NewBuilder(inst)
-	sl := scheduler.StaticLevel(inst)
-	rs := scheduler.NewReadySet(inst.Graph)
+func (g GDL) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	return scheduler.RunScratch(g, inst)
+}
+
+// ScheduleScratch implements scheduler.ScratchScheduler.
+func (GDL) ScheduleScratch(inst *graph.Instance, scr *scheduler.Scratch, out *schedule.Schedule) error {
+	tab := scr.Tables(inst)
+	sl := scr.StaticLevel(inst)
+	b := scr.Builder(inst)
+	rs := scr.ReadySet(inst.Graph)
 	for !rs.Empty() {
 		bestTask, bestNode := -1, -1
 		bestStart, bestDL := 0.0, 0.0
 		for _, t := range rs.Ready() {
-			avg := inst.AvgExecTime(t)
+			avg := tab.AvgExec[t]
 			for v := 0; v < inst.Net.NumNodes(); v++ {
 				s, _, ok := b.EFT(t, v, false)
 				if !ok {
@@ -61,5 +67,5 @@ func (GDL) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
 		b.Place(bestTask, bestNode, bestStart)
 		rs.Complete(bestTask)
 	}
-	return b.Schedule()
+	return b.ScheduleInto(out)
 }

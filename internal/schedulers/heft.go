@@ -23,12 +23,17 @@ type HEFT struct{}
 func (HEFT) Name() string { return "HEFT" }
 
 // Schedule implements scheduler.Scheduler.
-func (HEFT) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
-	b := schedule.NewBuilder(inst)
-	rank := scheduler.UpwardRank(inst)
-	for _, t := range scheduler.TopoOrderByPriority(inst.Graph, rank) {
+func (h HEFT) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	return scheduler.RunScratch(h, inst)
+}
+
+// ScheduleScratch implements scheduler.ScratchScheduler.
+func (HEFT) ScheduleScratch(inst *graph.Instance, scr *scheduler.Scratch, out *schedule.Schedule) error {
+	rank := scr.UpwardRank(inst)
+	b := scr.Builder(inst)
+	for _, t := range scr.TopoOrderByPriority(inst.Graph, rank) {
 		v, start := b.BestEFTNode(t, true)
 		b.Place(t, v, start)
 	}
-	return b.Schedule()
+	return b.ScheduleInto(out)
 }

@@ -2,7 +2,7 @@ package schedulers
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"saga/internal/graph"
 	"saga/internal/schedule"
@@ -35,45 +35,78 @@ type LMT struct{}
 // Name implements scheduler.Scheduler.
 func (LMT) Name() string { return "LMT" }
 
+// lmtScratch is LMT's per-worker extension state: the level index and
+// level buckets.
+type lmtScratch struct {
+	level   []int
+	byLevel [][]int
+}
+
 // Schedule implements scheduler.Scheduler.
-func (LMT) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+func (l LMT) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	return scheduler.RunScratch(l, inst)
+}
+
+// ScheduleScratch implements scheduler.ScratchScheduler.
+func (LMT) ScheduleScratch(inst *graph.Instance, scr *scheduler.Scratch, out *schedule.Schedule) error {
 	g := inst.Graph
-	order, err := g.TopoOrder()
-	if err != nil {
-		return nil, err
+	tab := scr.Tables(inst)
+	if tab.TopoErr != nil {
+		return tab.TopoErr
 	}
-	level := make([]int, g.NumTasks())
+	ls := scr.Ext("LMT", func() any { return &lmtScratch{} }).(*lmtScratch)
+	if cap(ls.level) < g.NumTasks() {
+		ls.level = make([]int, g.NumTasks())
+	}
+	ls.level = ls.level[:g.NumTasks()]
+	for t := range ls.level {
+		ls.level[t] = 0
+	}
 	maxLevel := 0
-	for _, t := range order {
+	for _, t := range tab.Topo {
 		for _, d := range g.Pred[t] {
-			if level[d.To]+1 > level[t] {
-				level[t] = level[d.To] + 1
+			if ls.level[d.To]+1 > ls.level[t] {
+				ls.level[t] = ls.level[d.To] + 1
 			}
 		}
-		if level[t] > maxLevel {
-			maxLevel = level[t]
+		if ls.level[t] > maxLevel {
+			maxLevel = ls.level[t]
 		}
 	}
-	byLevel := make([][]int, maxLevel+1)
+	if cap(ls.byLevel) < maxLevel+1 {
+		grown := make([][]int, maxLevel+1)
+		copy(grown, ls.byLevel[:cap(ls.byLevel)])
+		ls.byLevel = grown
+	} else {
+		ls.byLevel = ls.byLevel[:maxLevel+1]
+	}
+	for l := range ls.byLevel {
+		ls.byLevel[l] = ls.byLevel[l][:0]
+	}
 	for t := 0; t < g.NumTasks(); t++ {
-		byLevel[level[t]] = append(byLevel[level[t]], t)
+		ls.byLevel[ls.level[t]] = append(ls.byLevel[ls.level[t]], t)
 	}
 
-	b := schedule.NewBuilder(inst)
-	for _, tasks := range byLevel {
-		sort.SliceStable(tasks, func(i, j int) bool {
-			ci, cj := g.Tasks[tasks[i]].Cost, g.Tasks[tasks[j]].Cost
-			if ci != cj {
-				return ci > cj
+	b := scr.Builder(inst)
+	for _, tasks := range ls.byLevel {
+		// (cost desc, index asc) is a total order over the distinct task
+		// indices, so the typed unstable sort is deterministic.
+		slices.SortFunc(tasks, func(x, y int) int {
+			cx, cy := g.Tasks[x].Cost, g.Tasks[y].Cost
+			switch {
+			case cx > cy:
+				return -1
+			case cx < cy:
+				return 1
 			}
-			return tasks[i] < tasks[j]
+			return x - y
 		})
 		for _, t := range tasks {
 			v, start := b.BestEFTNode(t, false)
 			b.Place(t, v, start)
 		}
 	}
-	return b.Schedule()
+	return b.ScheduleInto(out)
 }
 
 // ERT is the Earliest Ready Task heuristic of Lee, Hwang, Chow & Anger
@@ -90,9 +123,14 @@ type ERT struct{}
 func (ERT) Name() string { return "ERT" }
 
 // Schedule implements scheduler.Scheduler.
-func (ERT) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
-	b := schedule.NewBuilder(inst)
-	rs := scheduler.NewReadySet(inst.Graph)
+func (e ERT) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	return scheduler.RunScratch(e, inst)
+}
+
+// ScheduleScratch implements scheduler.ScratchScheduler.
+func (ERT) ScheduleScratch(inst *graph.Instance, scr *scheduler.Scratch, out *schedule.Schedule) error {
+	b := scr.Builder(inst)
+	rs := scr.ReadySet(inst.Graph)
 	for !rs.Empty() {
 		bestTask, bestNode := -1, -1
 		bestReady, bestStart := math.Inf(1), math.Inf(1)
@@ -115,7 +153,7 @@ func (ERT) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
 		b.Place(bestTask, bestNode, bestStart)
 		rs.Complete(bestTask)
 	}
-	return b.Schedule()
+	return b.ScheduleInto(out)
 }
 
 // MH is the Mapping Heuristic of El-Rewini & Lewis, which the HEFT paper
@@ -129,12 +167,17 @@ type MH struct{}
 func (MH) Name() string { return "MH" }
 
 // Schedule implements scheduler.Scheduler.
-func (MH) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
-	b := schedule.NewBuilder(inst)
-	sl := scheduler.StaticLevel(inst)
-	for _, t := range scheduler.TopoOrderByPriority(inst.Graph, sl) {
+func (m MH) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	return scheduler.RunScratch(m, inst)
+}
+
+// ScheduleScratch implements scheduler.ScratchScheduler.
+func (MH) ScheduleScratch(inst *graph.Instance, scr *scheduler.Scratch, out *schedule.Schedule) error {
+	sl := scr.StaticLevel(inst)
+	b := scr.Builder(inst)
+	for _, t := range scr.TopoOrderByPriority(inst.Graph, sl) {
 		v, start := b.BestEFTNode(t, false)
 		b.Place(t, v, start)
 	}
-	return b.Schedule()
+	return b.ScheduleInto(out)
 }

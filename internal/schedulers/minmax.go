@@ -35,9 +35,9 @@ func minCompletion(b *schedule.Builder, t int) (node int, start, finish float64)
 // each ready task's minimum completion time over all nodes, then commit
 // the task selected by pickMax (largest MCT for MaxMin, smallest for
 // MinMin) to its minimizing node.
-func minMinSchedule(inst *graph.Instance, pickMax bool) (*schedule.Schedule, error) {
-	b := schedule.NewBuilder(inst)
-	rs := scheduler.NewReadySet(inst.Graph)
+func minMinSchedule(inst *graph.Instance, scr *scheduler.Scratch, pickMax bool, out *schedule.Schedule) error {
+	b := scr.Builder(inst)
+	rs := scr.ReadySet(inst.Graph)
 	for !rs.Empty() {
 		bestTask, bestNode := -1, -1
 		bestStart, bestMCT := 0.0, 0.0
@@ -58,7 +58,7 @@ func minMinSchedule(inst *graph.Instance, pickMax bool) (*schedule.Schedule, err
 		b.Place(bestTask, bestNode, bestStart)
 		rs.Complete(bestTask)
 	}
-	return b.Schedule()
+	return b.ScheduleInto(out)
 }
 
 // MinMin (Braun et al.) iteratively selects, among ready tasks, the one
@@ -70,8 +70,13 @@ type MinMin struct{}
 func (MinMin) Name() string { return "MinMin" }
 
 // Schedule implements scheduler.Scheduler.
-func (MinMin) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
-	return minMinSchedule(inst, false)
+func (m MinMin) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	return scheduler.RunScratch(m, inst)
+}
+
+// ScheduleScratch implements scheduler.ScratchScheduler.
+func (MinMin) ScheduleScratch(inst *graph.Instance, scr *scheduler.Scratch, out *schedule.Schedule) error {
+	return minMinSchedule(inst, scr, false, out)
 }
 
 // MaxMin (Braun et al.) iteratively selects, among ready tasks, the one
@@ -83,8 +88,13 @@ type MaxMin struct{}
 func (MaxMin) Name() string { return "MaxMin" }
 
 // Schedule implements scheduler.Scheduler.
-func (MaxMin) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
-	return minMinSchedule(inst, true)
+func (m MaxMin) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	return scheduler.RunScratch(m, inst)
+}
+
+// ScheduleScratch implements scheduler.ScratchScheduler.
+func (MaxMin) ScheduleScratch(inst *graph.Instance, scr *scheduler.Scratch, out *schedule.Schedule) error {
+	return minMinSchedule(inst, scr, true, out)
 }
 
 // Duplex (Braun et al.) runs both MinMin and MaxMin and returns whichever
@@ -95,17 +105,24 @@ type Duplex struct{}
 func (Duplex) Name() string { return "Duplex" }
 
 // Schedule implements scheduler.Scheduler.
-func (Duplex) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
-	a, err := minMinSchedule(inst, false)
-	if err != nil {
-		return nil, err
+func (d Duplex) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	return scheduler.RunScratch(d, inst)
+}
+
+// ScheduleScratch implements scheduler.ScratchScheduler. MinMin's
+// schedule lands in out first; MaxMin replaces it only on a strict
+// improvement, matching the reference tie-break toward MinMin.
+func (Duplex) ScheduleScratch(inst *graph.Instance, scr *scheduler.Scratch, out *schedule.Schedule) error {
+	if err := minMinSchedule(inst, scr, false, out); err != nil {
+		return err
 	}
-	b, err := minMinSchedule(inst, true)
-	if err != nil {
-		return nil, err
+	tmp := scr.AcquireSchedule()
+	defer scr.ReleaseSchedule(tmp)
+	if err := minMinSchedule(inst, scr, true, tmp); err != nil {
+		return err
 	}
-	if b.Makespan() < a.Makespan() {
-		return b, nil
+	if tmp.Makespan() < out.Makespan() {
+		out.CopyFrom(tmp)
 	}
-	return a, nil
+	return nil
 }

@@ -26,17 +26,22 @@ type FastestNode struct{}
 func (FastestNode) Name() string { return "FastestNode" }
 
 // Schedule implements scheduler.Scheduler.
-func (FastestNode) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
-	b := schedule.NewBuilder(inst)
-	v := inst.Net.FastestNode()
-	order, err := inst.Graph.TopoOrder()
-	if err != nil {
-		return nil, err
+func (f FastestNode) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	return scheduler.RunScratch(f, inst)
+}
+
+// ScheduleScratch implements scheduler.ScratchScheduler.
+func (FastestNode) ScheduleScratch(inst *graph.Instance, scr *scheduler.Scratch, out *schedule.Schedule) error {
+	tab := scr.Tables(inst)
+	if tab.TopoErr != nil {
+		return tab.TopoErr
 	}
-	for _, t := range order {
+	b := scr.Builder(inst)
+	v := inst.Net.FastestNode()
+	for _, t := range tab.Topo {
 		b.PlaceEFT(t, v, false)
 	}
-	return b.Schedule()
+	return b.ScheduleInto(out)
 }
 
 // OLB is Opportunistic Load Balancing (Armstrong, Hensgen & Kidd): tasks
@@ -51,13 +56,18 @@ type OLB struct{}
 func (OLB) Name() string { return "OLB" }
 
 // Schedule implements scheduler.Scheduler.
-func (OLB) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
-	b := schedule.NewBuilder(inst)
-	order, err := inst.Graph.TopoOrder()
-	if err != nil {
-		return nil, err
+func (o OLB) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	return scheduler.RunScratch(o, inst)
+}
+
+// ScheduleScratch implements scheduler.ScratchScheduler.
+func (OLB) ScheduleScratch(inst *graph.Instance, scr *scheduler.Scratch, out *schedule.Schedule) error {
+	tab := scr.Tables(inst)
+	if tab.TopoErr != nil {
+		return tab.TopoErr
 	}
-	for _, t := range order {
+	b := scr.Builder(inst)
+	for _, t := range tab.Topo {
 		best, bestAvail := 0, math.Inf(1)
 		for v := 0; v < inst.Net.NumNodes(); v++ {
 			if a := b.NodeAvailable(v); a < bestAvail-graph.Eps {
@@ -66,7 +76,7 @@ func (OLB) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
 		}
 		b.PlaceEFT(t, best, false)
 	}
-	return b.Schedule()
+	return b.ScheduleInto(out)
 }
 
 // MCT is Minimum Completion Time (Armstrong, Hensgen & Kidd): tasks are
@@ -80,17 +90,22 @@ type MCT struct{}
 func (MCT) Name() string { return "MCT" }
 
 // Schedule implements scheduler.Scheduler.
-func (MCT) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
-	b := schedule.NewBuilder(inst)
-	order, err := inst.Graph.TopoOrder()
-	if err != nil {
-		return nil, err
+func (m MCT) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	return scheduler.RunScratch(m, inst)
+}
+
+// ScheduleScratch implements scheduler.ScratchScheduler.
+func (MCT) ScheduleScratch(inst *graph.Instance, scr *scheduler.Scratch, out *schedule.Schedule) error {
+	tab := scr.Tables(inst)
+	if tab.TopoErr != nil {
+		return tab.TopoErr
 	}
-	for _, t := range order {
+	b := scr.Builder(inst)
+	for _, t := range tab.Topo {
 		v, start := b.BestEFTNode(t, false)
 		b.Place(t, v, start)
 	}
-	return b.Schedule()
+	return b.ScheduleInto(out)
 }
 
 // MET is Minimum Execution Time (Armstrong, Hensgen & Kidd): each task,
@@ -104,13 +119,18 @@ type MET struct{}
 func (MET) Name() string { return "MET" }
 
 // Schedule implements scheduler.Scheduler.
-func (MET) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
-	b := schedule.NewBuilder(inst)
-	order, err := inst.Graph.TopoOrder()
-	if err != nil {
-		return nil, err
+func (m MET) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	return scheduler.RunScratch(m, inst)
+}
+
+// ScheduleScratch implements scheduler.ScratchScheduler.
+func (MET) ScheduleScratch(inst *graph.Instance, scr *scheduler.Scratch, out *schedule.Schedule) error {
+	tab := scr.Tables(inst)
+	if tab.TopoErr != nil {
+		return tab.TopoErr
 	}
-	for _, t := range order {
+	b := scr.Builder(inst)
+	for _, t := range tab.Topo {
 		best, bestExec := 0, math.Inf(1)
 		for v := 0; v < inst.Net.NumNodes(); v++ {
 			if e := inst.ExecTime(t, v); e < bestExec-graph.Eps {
@@ -119,5 +139,5 @@ func (MET) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
 		}
 		b.PlaceEFT(t, best, false)
 	}
-	return b.Schedule()
+	return b.ScheduleInto(out)
 }

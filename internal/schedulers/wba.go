@@ -46,22 +46,43 @@ func (WBA) Name() string { return "WBA" }
 
 // Schedule implements scheduler.Scheduler.
 func (w WBA) Schedule(inst *graph.Instance) (*schedule.Schedule, error) {
+	return scheduler.RunScratch(w, inst)
+}
+
+// wbaScratch is WBA's per-worker extension state: the root and per-round
+// generators and the candidate-option buffer, reused across calls.
+type wbaScratch struct {
+	root, round rng.RNG
+	options     []wbaOption
+}
+
+// ScheduleScratch implements scheduler.ScratchScheduler. Each
+// construction round builds into the scratch builder; the best round is
+// copied into out, so a warm call allocates nothing while drawing the
+// exact random streams of the reference implementation.
+func (w WBA) ScheduleScratch(inst *graph.Instance, scr *scheduler.Scratch, out *schedule.Schedule) error {
 	rounds := w.Rounds
 	if rounds <= 0 {
 		rounds = 10
 	}
-	r := rng.New(w.Seed)
-	var best *schedule.Schedule
+	ws := scr.Ext("WBA", func() any { return &wbaScratch{} }).(*wbaScratch)
+	ws.root.Reseed(w.Seed)
+	bestSet := false
+	bestMakespan := 0.0
 	for i := 0; i < rounds; i++ {
-		s, err := w.construct(inst, r.Split())
+		ws.root.SplitInto(&ws.round)
+		b, err := w.construct(inst, &ws.round, scr, ws)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if best == nil || s.Makespan() < best.Makespan() {
-			best = s
+		if m := b.Makespan(); !bestSet || m < bestMakespan {
+			if err := b.ScheduleInto(out); err != nil {
+				return err
+			}
+			bestSet, bestMakespan = true, m
 		}
 	}
-	return best, nil
+	return nil
 }
 
 type wbaOption struct {
@@ -70,10 +91,10 @@ type wbaOption struct {
 	increase   float64
 }
 
-func (w WBA) construct(inst *graph.Instance, r *rng.RNG) (*schedule.Schedule, error) {
-	b := schedule.NewBuilder(inst)
-	rs := scheduler.NewReadySet(inst.Graph)
-	options := make([]wbaOption, 0, inst.Net.NumNodes()*4)
+func (w WBA) construct(inst *graph.Instance, r *rng.RNG, scr *scheduler.Scratch, ws *wbaScratch) (*schedule.Builder, error) {
+	b := scr.Builder(inst)
+	rs := scr.ReadySet(inst.Graph)
+	options := ws.options[:0]
 	for !rs.Empty() {
 		options = options[:0]
 		current := b.Makespan()
@@ -107,5 +128,6 @@ func (w WBA) construct(inst *graph.Instance, r *rng.RNG) (*schedule.Schedule, er
 		b.Place(pick.task, pick.node, pick.start)
 		rs.Complete(pick.task)
 	}
-	return b.Schedule()
+	ws.options = options[:0]
+	return b, nil
 }
