@@ -1,11 +1,12 @@
 # Build/verify targets for the SAGA/PISA reproduction. `make verify` is
 # the tier-1 gate; `make bench-smoke` is the allocation-regression gate
 # for the scheduling hot path (see EXPERIMENTS.md, "Hot-path memory
-# discipline", and the committed pre/post record in BENCH_hotpath.json).
+# discipline", and the committed pre/post record in BENCH_hotpath.json);
+# `make docs-lint` keeps every internal package documented.
 
 GO ?= go
 
-.PHONY: all build test verify bench-smoke bench
+.PHONY: all build test verify bench-smoke bench docs-lint
 
 all: verify
 
@@ -15,9 +16,21 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the tier-1 check: everything builds, every test passes, and
-# the hot path still schedules without allocating.
-verify: build test bench-smoke
+# verify is the tier-1 check: everything builds, every test passes, the
+# hot path still schedules without allocating, and every package stays
+# documented.
+verify: build test docs-lint bench-smoke
+
+# docs-lint fails if any internal/* package lacks a package comment
+# ("// Package <name> ..."). Every package must state its role and key
+# invariant at the top — see ARCHITECTURE.md for the layer map.
+docs-lint:
+	@fail=0; for d in internal/*/; do \
+		pkg=$$(basename $$d); \
+		grep -q "^// Package $$pkg " $$d*.go || { echo "docs-lint: internal/$$pkg has no package comment"; fail=1; }; \
+	done; \
+	if [ $$fail -ne 0 ]; then exit 1; fi; \
+	echo "docs-lint: all internal packages documented"
 
 # bench-smoke runs the hot-path benchmark just long enough to surface an
 # allocation regression loudly: the AllocsPerRun gate must stay at 0 for

@@ -14,11 +14,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
+	"sync/atomic"
 
 	"saga/internal/core"
 	"saga/internal/datasets"
@@ -32,41 +33,113 @@ import (
 	"saga/internal/serialize"
 )
 
+// sweepDefaults supplies the flag defaults shared with cmd/saga
+// worker/merge (experiments.DefaultSweepParams), so bare-flag runs of
+// either CLI address the same sweep fingerprint.
+var sweepDefaults = experiments.DefaultSweepParams()
+
 var (
-	flagN        = flag.Int("n", 20, "instances per dataset / family samples")
-	flagSeed     = flag.Uint64("seed", 1, "root random seed")
-	flagIters    = flag.Int("iters", 250, "PISA iterations per restart (paper: 1000)")
-	flagRestarts = flag.Int("restarts", 3, "PISA restarts per pair (paper: 5)")
-	flagWorkflow = flag.String("workflow", "srasearch", "workflow for the appspecific command")
-	flagCCR      = flag.Float64("ccr", 0, "single CCR for appspecific (0 = all five levels)")
+	flagN        = flag.Int("n", sweepDefaults.N, "instances per dataset / family samples")
+	flagSeed     = flag.Uint64("seed", sweepDefaults.Seed, "root random seed")
+	flagIters    = flag.Int("iters", sweepDefaults.Iters, "PISA iterations per restart (paper: 1000)")
+	flagRestarts = flag.Int("restarts", sweepDefaults.Restarts, "PISA restarts per pair (paper: 5)")
+	flagWorkflow = flag.String("workflow", sweepDefaults.Workflow, "workflow for the appspecific command")
+	flagCCR      = flag.Float64("ccr", sweepDefaults.CCR, "single CCR for appspecific (0 = all five levels)")
 	flagWorkers  = flag.Int("workers", 0, "parallel workers for the experiment sweeps (0 = GOMAXPROCS, 1 = sequential)")
 	flagSVGDir   = flag.String("svgdir", "", "also write SVG renderings of grids and Gantt charts here")
 	flagProgress = flag.Bool("progress", false, "report sweep progress on stderr")
 	flagCkpt     = flag.String("checkpoint", "", "checkpoint file for fig4, fig7, fig8 and appspecific (resume an interrupted sweep; for appspecific pin one block with -ccr)")
+	flagShard    = flag.String("shard", "", "run only shard I/C (e.g. 2/8) of a checkpointed sweep; cells stay in the -checkpoint store for `saga merge`")
 )
+
+// sweepParams mirrors the flag values into the sweep identity shared
+// with `saga worker` and `saga merge` (internal/experiments.NewSweep):
+// a worker shard and a local run of the same flags address one store.
+func sweepParams(workflow string, ccr float64) experiments.SweepParams {
+	return experiments.SweepParams{
+		N:        *flagN,
+		Iters:    *flagIters,
+		Restarts: *flagRestarts,
+		Seed:     *flagSeed,
+		Workflow: workflow,
+		CCR:      ccr,
+	}
+}
+
+// shardSpec parses -shard; the zero value runs the whole sweep. A shard
+// without a store would compute cells and drop them, so -checkpoint is
+// required.
+func shardSpec() (runner.ShardSpec, error) {
+	if *flagShard == "" {
+		return runner.ShardSpec{}, nil
+	}
+	if *flagCkpt == "" {
+		return runner.ShardSpec{}, fmt.Errorf("-shard requires -checkpoint: the store is the shard's output")
+	}
+	return runner.ParseShard(*flagShard)
+}
+
+// shardDone reports a finished shard instead of rendering: a sharded
+// result is partial by construction, and its real output is the store.
+// Touch guarantees the store file exists even for a shard owning zero
+// cells, so the merge never misses an expected file.
+func shardDone(label string, shard runner.ShardSpec, st *sweepStore) error {
+	if err := st.ckpt.Touch(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: shard %s complete; cells stored in %s — combine with `saga merge -driver %s`, then re-run with `-checkpoint <merged>` (flags before the figure name) to render\n",
+		label, shard, *flagCkpt, label)
+	return nil
+}
+
+// sweepStore wraps the -checkpoint store and counts the cells this
+// process contributed. Rendering from a store that already covered the
+// whole sweep — a `saga merge` artifact, typically expensive to rebuild
+// — must not consume it, so removeCheckpoint only deletes stores this
+// run actually wrote into.
+type sweepStore struct {
+	ckpt   *serialize.Checkpoint
+	stored atomic.Int64
+}
+
+func (s *sweepStore) Load() (map[int]json.RawMessage, error) { return s.ckpt.Load() }
+
+func (s *sweepStore) Store(index int, cell json.RawMessage) error {
+	s.stored.Add(1)
+	return s.ckpt.Store(index, cell)
+}
+
+func (s *sweepStore) Flush() error { return s.ckpt.Flush() }
 
 // checkpoint binds the -checkpoint store (nil when the flag is unset) to
 // the given sweep fingerprint and wires it into ro. The fingerprint must
 // cover every input that shapes cell indices and contents, so resuming a
 // different sweep fails loudly instead of mixing stale cells in.
-func checkpoint(ro *runner.Options, fingerprint string) *serialize.Checkpoint {
+func checkpoint(ro *runner.Options, fingerprint string) *sweepStore {
 	if *flagCkpt == "" {
 		return nil
 	}
 	ckpt := serialize.NewCheckpoint(*flagCkpt)
 	ckpt.SetFingerprint(fingerprint)
-	ro.Checkpoint = ckpt
-	return ckpt
+	st := &sweepStore{ckpt: ckpt}
+	ro.Checkpoint = st
+	return st
 }
 
 // removeCheckpoint deletes a completed sweep's store so it is not
-// mistaken for a resumable one. A failed cleanup is only worth a warning
+// mistaken for a resumable one — unless this run computed nothing (the
+// store was already complete, i.e. a merged artifact), in which case it
+// is kept for further renders. A failed cleanup is only worth a warning
 // — the computed result must still be rendered.
-func removeCheckpoint(label string, ckpt *serialize.Checkpoint) {
-	if ckpt == nil {
+func removeCheckpoint(label string, st *sweepStore) {
+	if st == nil {
 		return
 	}
-	if err := ckpt.Remove(); err != nil {
+	if st.stored.Load() == 0 {
+		fmt.Fprintf(os.Stderr, "figures: %s: store %s already held every cell; keeping it\n", label, *flagCkpt)
+		return
+	}
+	if err := st.ckpt.Remove(); err != nil {
 		fmt.Fprintf(os.Stderr, "figures: %s: checkpoint cleanup: %v\n", label, err)
 	}
 }
@@ -124,7 +197,17 @@ var appendixWorkflows = map[string]string{
 	"fig19": "soykb",
 }
 
+// shardable marks the sweeps that support -shard: exactly the
+// checkpointable ones, since shards hand their cells over through the
+// store.
+var shardable = map[string]bool{"fig4": true, "fig7": true, "fig8": true, "appspecific": true}
+
 func run(cmd string) error {
+	if *flagShard != "" && !shardable[cmd] {
+		if _, ok := appendixWorkflows[cmd]; !ok {
+			return fmt.Errorf("-shard applies to checkpointable sweeps only (fig4, fig7, fig8, appspecific)")
+		}
+	}
 	switch cmd {
 	case "fig1":
 		return fig1()
@@ -215,15 +298,22 @@ func fig3() error {
 
 func fig4() error {
 	fmt.Println("== Fig 4: pairwise PISA heatmap (15 x 15) ==")
+	sw, err := experiments.NewSweep("fig4", sweepParams("", 0))
+	if err != nil {
+		return err
+	}
 	opts := experiments.PairwiseOptions{Anneal: anneal()}
 	ro := runnerOptions("fig4")
-	// The fingerprint covers flags AND roster, since cell indices map to
-	// (target, base) pairs through the roster order.
-	ckpt := checkpoint(&ro, fmt.Sprintf("fig4 seed=%d iters=%d restarts=%d schedulers=%s",
-		*flagSeed, *flagIters, *flagRestarts, strings.Join(schedulers.ExperimentalNames, ",")))
+	if ro.Shard, err = shardSpec(); err != nil {
+		return err
+	}
+	ckpt := checkpoint(&ro, sw.Fingerprint)
 	res, err := experiments.PairwisePISARun(schedulers.Experimental(), opts, ro)
 	if err != nil {
 		return err
+	}
+	if ro.Shard.Enabled() {
+		return shardDone("fig4", ro.Shard, ckpt)
 	}
 	removeCheckpoint("fig4", ckpt)
 	rows := append([][]float64{res.Worst}, res.Ratios...)
@@ -263,12 +353,22 @@ func caseStudy(cmd string) error {
 
 func family(label, title string, gen func(*rng.RNG) *graph.Instance) error {
 	fmt.Println("== " + title + " ==")
+	sw, err := experiments.NewSweep(label, sweepParams("", 0))
+	if err != nil {
+		return err
+	}
 	scheds := []scheduler.Scheduler{mustSched("CPoP"), mustSched("HEFT")}
 	ro := runnerOptions("family")
-	ckpt := checkpoint(&ro, fmt.Sprintf("%s seed=%d n=%d schedulers=CPoP,HEFT", label, *flagSeed, *flagN))
+	if ro.Shard, err = shardSpec(); err != nil {
+		return err
+	}
+	ckpt := checkpoint(&ro, sw.Fingerprint)
 	res, err := experiments.FamilyRun(gen, scheds, *flagN, *flagSeed, ro)
 	if err != nil {
 		return err
+	}
+	if ro.Shard.Enabled() {
+		return shardDone(label, ro.Shard, ckpt)
 	}
 	removeCheckpoint(label, ckpt)
 	for _, name := range res.Schedulers {
@@ -321,12 +421,18 @@ func appSpecific(workflow string) error {
 	}
 	scheds := schedulers.AppSpecific()
 	for _, ccr := range ccrs {
-		ro := runnerOptions("appspecific")
 		// One store per (workflow, CCR) block: the fingerprint pins the
 		// block, and the store is removed once the block completes so the
 		// next CCR level starts fresh at the same path.
-		ckpt := checkpoint(&ro, fmt.Sprintf("appspecific workflow=%s ccr=%g seed=%d n=%d iters=%d restarts=%d schedulers=%s",
-			workflow, ccr, *flagSeed, *flagN, *flagIters, *flagRestarts, strings.Join(schedulers.AppSpecificNames, ",")))
+		sw, err := experiments.NewSweep("appspecific", sweepParams(workflow, ccr))
+		if err != nil {
+			return err
+		}
+		ro := runnerOptions("appspecific")
+		if ro.Shard, err = shardSpec(); err != nil {
+			return err
+		}
+		ckpt := checkpoint(&ro, sw.Fingerprint)
 		res, err := experiments.AppSpecificRun(scheds, experiments.AppSpecificOptions{
 			Workflow:           workflow,
 			CCR:                ccr,
@@ -335,6 +441,12 @@ func appSpecific(workflow string) error {
 		}, ro)
 		if err != nil {
 			return err
+		}
+		if ro.Shard.Enabled() {
+			if err := shardDone("appspecific", ro.Shard, ckpt); err != nil {
+				return err
+			}
+			continue
 		}
 		removeCheckpoint("appspecific", ckpt)
 		rows := append([][]float64{}, res.Ratios...)
@@ -348,10 +460,8 @@ func appSpecific(workflow string) error {
 	return nil
 }
 
+// anneal delegates to the shared sweep identity so the annealing budget
+// can never drift between a local run and a `saga worker` shard.
 func anneal() core.Options {
-	o := core.DefaultOptions()
-	o.MaxIters = *flagIters
-	o.Restarts = *flagRestarts
-	o.Seed = *flagSeed
-	return o
+	return sweepParams("", 0).Anneal()
 }

@@ -1,6 +1,7 @@
 // Command saga is the CLI for the SAGA/PISA reproduction: list
 // algorithms and datasets, generate problem instances, run a scheduler on
-// an instance, and run PISA for a scheduler pair.
+// an instance, run PISA for a scheduler pair, and run or merge shards of
+// a distributed sweep.
 //
 // Usage:
 //
@@ -9,6 +10,8 @@
 //	saga generate -dataset chains -out i.json  # draw an instance
 //	saga schedule -scheduler HEFT -in i.json   # schedule it
 //	saga pisa -target HEFT -base CPoP          # adversarial search
+//	saga worker -driver fig4 -shard 2/8 -checkpoint s2.json   # one shard
+//	saga merge  -driver fig4 -out merged.json s0.json s1.json # combine
 package main
 
 import (
@@ -62,6 +65,10 @@ func main() {
 		err = benchmarkCmd(args)
 	case "describe":
 		err = describeCmd(args)
+	case "worker":
+		err = workerCmd(args)
+	case "merge":
+		err = mergeCmd(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -87,7 +94,10 @@ commands:
              -from-instance inst.json -out wf.json                 (instance -> wfformat)
   simulate   -scheduler <name> -in file.json [-contention]
   benchmark  [-datasets a,b] [-schedulers x,y] [-n N] [-seed N]
-  describe   -dataset <name> [-n N] [-seed N]`)
+  describe   -dataset <name> [-n N] [-seed N]
+  worker     -driver fig4|fig7|fig8|appspecific -shard I/C -checkpoint file [-n N] [-seed N]
+             [-iters N] [-restarts N] [-workflow w] [-ccr F] [-workers N] [-progress]
+  merge      -driver <name> -out merged.json [sweep flags as for worker] shard1.json shard2.json ...`)
 }
 
 func list() error {
@@ -497,6 +507,113 @@ func benchmarkCmd(args []string) error {
 	fmt.Print(render.Grid(
 		fmt.Sprintf("max makespan ratio against the best scheduler (%d instances/dataset)", *n),
 		res.Datasets, res.Schedulers, res.MaxGrid()))
+	return nil
+}
+
+// sweepFlags registers the sweep-parameter flags shared by worker and
+// merge. The defaults come from experiments.DefaultSweepParams — the
+// same source cmd/figures draws its flag defaults from — so a worker
+// launched with the same flags as a `figures` run writes cells the
+// figures process can resume from (and vice versa).
+func sweepFlags(fs *flag.FlagSet) func() experiments.SweepParams {
+	d := experiments.DefaultSweepParams()
+	n := fs.Int("n", d.N, "instances per dataset / family samples (as figures -n)")
+	seed := fs.Uint64("seed", d.Seed, "root random seed")
+	iters := fs.Int("iters", d.Iters, "PISA iterations per restart")
+	restarts := fs.Int("restarts", d.Restarts, "PISA restarts per pair")
+	workflow := fs.String("workflow", d.Workflow, "workflow for the appspecific driver")
+	ccr := fs.Float64("ccr", d.CCR, "CCR block for the appspecific driver (required > 0 there)")
+	return func() experiments.SweepParams {
+		return experiments.SweepParams{
+			N: *n, Seed: *seed, Iters: *iters, Restarts: *restarts,
+			Workflow: *workflow, CCR: *ccr,
+		}
+	}
+}
+
+// workerCmd runs one shard of a distributed sweep: only the cells with
+// index ≡ I (mod C) are computed — with their global position-derived
+// seeds — and persisted to this shard's checkpoint store. The in-memory
+// result is deliberately discarded; the store is the shard's output, to
+// be combined by `saga merge`. Killing and restarting a worker with the
+// same flags resumes its own store.
+func workerCmd(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	driver := fs.String("driver", "", "sweep to shard: "+strings.Join(experiments.SweepNames, ", ")+" (required)")
+	shardStr := fs.String("shard", "", "this worker's shard I/C, e.g. 2/8 (required)")
+	ckptPath := fs.String("checkpoint", "", "this shard's checkpoint store (required; one file per shard)")
+	workers := fs.Int("workers", 0, "parallel workers within this shard (0 = GOMAXPROCS)")
+	progress := fs.Bool("progress", false, "report shard progress on stderr")
+	params := sweepFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *driver == "" || *shardStr == "" || *ckptPath == "" {
+		return fmt.Errorf("worker: -driver, -shard and -checkpoint are required")
+	}
+	shard, err := runner.ParseShard(*shardStr)
+	if err != nil {
+		return err
+	}
+	sw, err := experiments.NewSweep(*driver, params())
+	if err != nil {
+		return err
+	}
+	ckpt := serialize.NewCheckpoint(*ckptPath)
+	ckpt.SetFingerprint(sw.Fingerprint)
+	ro := runner.Options{Workers: *workers, Shard: shard, Checkpoint: ckpt}
+	if *progress {
+		ro.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "worker %s %s: %d/%d cells\n", sw.Name, shard, done, total)
+		}
+	}
+	if err := sw.Run(ro); err != nil {
+		return err
+	}
+	// A shard owning zero cells (more shards than cells) stores nothing;
+	// still leave a fingerprinted empty store so the merge sees every
+	// shard it expects.
+	if err := ckpt.Touch(); err != nil {
+		return err
+	}
+	fmt.Printf("worker: %s shard %s complete; cells stored in %s (combine with `saga merge -driver %s`)\n",
+		sw.Name, shard, *ckptPath, sw.Name)
+	return nil
+}
+
+// mergeCmd combines per-shard checkpoint stores into one complete store
+// that a single-process run of the same sweep (same flags, -checkpoint
+// pointing at the merged file) loads in full — rendering the figure
+// without recomputing a single cell. The sweep flags must match the ones
+// the workers ran with: they determine the fingerprint every store is
+// verified against and the cell count the merge must cover.
+func mergeCmd(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	driver := fs.String("driver", "", "sweep the shards belong to: "+strings.Join(experiments.SweepNames, ", ")+" (required)")
+	out := fs.String("out", "", "merged checkpoint store to write (required)")
+	params := sweepFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *driver == "" || *out == "" {
+		return fmt.Errorf("merge: -driver and -out are required")
+	}
+	shards := fs.Args()
+	if len(shards) == 0 {
+		return fmt.Errorf("merge: no shard stores given (pass them as positional arguments)")
+	}
+	sw, err := experiments.NewSweep(*driver, params())
+	if err != nil {
+		return err
+	}
+	n, err := serialize.MergeCheckpoints(*out, sw.Fingerprint, sw.Cells, shards)
+	if err != nil {
+		return err
+	}
+	// Flags must precede the figure name: cmd/figures uses the global
+	// flag.Parse, which stops at the first positional argument.
+	fmt.Printf("merge: %s complete — %d cells from %d shards in %s; render with `figures -checkpoint %s %s` (same sweep flags)\n",
+		sw.Name, n, len(shards), *out, *out, sw.Name)
 	return nil
 }
 

@@ -3,6 +3,13 @@
 // family studies, and the Section VII application-specific
 // benchmarking+PISA grids (Figs 10-19). Each driver returns plain data
 // plus labels; package render turns them into the text figures.
+//
+// Every driver has a parallel counterpart built on runner.Map (see
+// parallel.go) whose results are bit-identical to the sequential
+// reference for any worker count, and the checkpointable sweeps are
+// registered as distributed, shardable jobs in NewSweep (see
+// distributed.go) — the shared identity behind `figures -shard`,
+// `saga worker`, and `saga merge`.
 package experiments
 
 import (

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"saga/internal/core"
+	"saga/internal/datasets"
+	"saga/internal/runner"
+	"saga/internal/scheduler"
+	"saga/internal/schedulers"
+)
+
+// This file is the registry behind the distributed sweep protocol: the
+// named checkpointable sweeps a `saga worker` process can run one shard
+// of, and that `saga merge` and `cmd/figures -checkpoint` address by the
+// same fingerprint. Both CLIs build their sweep identity through NewSweep
+// so a store written by one is always resumable by the other.
+
+// SweepParams are the CLI-level inputs that identify a distributed
+// sweep. They mirror the cmd/figures flags: N is -n (instances or
+// samples), Iters/Restarts/Seed the annealing budget and root seed,
+// Workflow and CCR the appspecific block. Fields a sweep does not use
+// are ignored by it (and excluded from its fingerprint).
+type SweepParams struct {
+	N        int
+	Iters    int
+	Restarts int
+	Seed     uint64
+	Workflow string
+	CCR      float64
+}
+
+// DefaultSweepParams holds the CLI flag defaults both cmd/figures and
+// cmd/saga draw from. Centralizing them here keeps the two CLIs'
+// fingerprints aligned: if a default drifted, a worker and a figures
+// run launched with bare flags would silently address different sweeps.
+// (CCR stays 0 — the appspecific block must be chosen explicitly.)
+func DefaultSweepParams() SweepParams {
+	return SweepParams{N: 20, Iters: 250, Restarts: 3, Seed: 1, Workflow: "srasearch"}
+}
+
+// Anneal assembles the annealing options exactly as the single-process
+// CLIs do, so a worker shard and a local `figures` run of the same
+// parameters compute byte-identical cells.
+func (p SweepParams) Anneal() core.Options {
+	o := core.DefaultOptions()
+	o.MaxIters = p.Iters
+	o.Restarts = p.Restarts
+	o.Seed = p.Seed
+	return o
+}
+
+// benchInstances resolves N the way AppSpecificRun does (<= 0 means 20),
+// so fingerprints and cell counts agree with the driver.
+func (p SweepParams) benchInstances() int {
+	if p.N <= 0 {
+		return 20
+	}
+	return p.N
+}
+
+// Sweep is one named checkpointable sweep. Fingerprint identifies the
+// sweep's exact parameters (it deliberately excludes shard identity —
+// every shard of one sweep shares it, which is what lets
+// serialize.MergeCheckpoints verify the stores belong together and the
+// merged store resume an unsharded run). Cells is the total number of
+// checkpoint cells a complete store holds, the coverage bound for the
+// merge. Run executes the sweep under the given runner options,
+// discarding the partial in-memory result — a shard's output is its
+// checkpoint store.
+type Sweep struct {
+	Name        string
+	Fingerprint string
+	Cells       int
+	Run         func(ro runner.Options) error
+}
+
+// SweepNames lists the sweeps NewSweep accepts, in CLI help order.
+var SweepNames = []string{"fig4", "fig7", "fig8", "appspecific"}
+
+// NewSweep resolves a sweep name (a checkpointable cmd/figures driver)
+// and its parameters into the fingerprint, cell count, and runnable
+// closure shared by `figures -shard`, `saga worker`, and `saga merge`.
+func NewSweep(name string, p SweepParams) (*Sweep, error) {
+	switch name {
+	case "fig4":
+		roster := schedulers.ExperimentalNames
+		return &Sweep{
+			Name: name,
+			// The fingerprint covers flags AND roster, since cell indices
+			// map to (target, base) pairs through the roster order.
+			Fingerprint: fmt.Sprintf("fig4 seed=%d iters=%d restarts=%d schedulers=%s",
+				p.Seed, p.Iters, p.Restarts, strings.Join(roster, ",")),
+			Cells: len(roster) * (len(roster) - 1),
+			Run: func(ro runner.Options) error {
+				_, err := PairwisePISARun(schedulers.Experimental(), PairwiseOptions{Anneal: p.Anneal()}, ro)
+				return err
+			},
+		}, nil
+	case "fig7", "fig8":
+		gen := datasets.Fig7Instance
+		if name == "fig8" {
+			gen = datasets.Fig8Instance
+		}
+		scheds, err := familySchedulers()
+		if err != nil {
+			return nil, err
+		}
+		return &Sweep{
+			Name:        name,
+			Fingerprint: fmt.Sprintf("%s seed=%d n=%d schedulers=CPoP,HEFT", name, p.Seed, p.N),
+			Cells:       p.N,
+			Run: func(ro runner.Options) error {
+				_, err := FamilyRun(gen, scheds, p.N, p.Seed, ro)
+				return err
+			},
+		}, nil
+	case "appspecific":
+		if p.Workflow == "" {
+			return nil, fmt.Errorf("experiments: appspecific sweep needs a workflow")
+		}
+		if p.CCR <= 0 {
+			return nil, fmt.Errorf("experiments: appspecific sweep needs a single CCR level > 0 (one store per block)")
+		}
+		roster := schedulers.AppSpecificNames
+		nApp := len(roster)
+		return &Sweep{
+			Name: name,
+			Fingerprint: fmt.Sprintf("appspecific workflow=%s ccr=%g seed=%d n=%d iters=%d restarts=%d schedulers=%s",
+				p.Workflow, p.CCR, p.Seed, p.N, p.Iters, p.Restarts, strings.Join(roster, ",")),
+			// Benchmarking cells first, then the PISA grid in its
+			// disjoint OffsetCheckpoint window.
+			Cells: p.benchInstances() + nApp*(nApp-1),
+			Run: func(ro runner.Options) error {
+				_, err := AppSpecificRun(schedulers.AppSpecific(), AppSpecificOptions{
+					Workflow:           p.Workflow,
+					CCR:                p.CCR,
+					BenchmarkInstances: p.N,
+					Anneal:             p.Anneal(),
+				}, ro)
+				return err
+			},
+		}, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown sweep %q (want one of %s)", name, strings.Join(SweepNames, ", "))
+}
+
+// familySchedulers instantiates the fixed CPoP/HEFT pair of the Fig 7/8
+// family studies.
+func familySchedulers() ([]scheduler.Scheduler, error) {
+	out := make([]scheduler.Scheduler, 2)
+	for i, n := range []string{"CPoP", "HEFT"} {
+		s, err := scheduler.New(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}

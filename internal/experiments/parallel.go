@@ -24,6 +24,16 @@ import (
 // between workers. The parallel results are bit-identical to the
 // sequential drivers for every worker count — the determinism suite in
 // determinism_test.go asserts it for all six.
+//
+// The Run variants also accept runner.Options.Shard, splitting a sweep
+// across processes: a sharded run computes only its own cells (the rest
+// of the returned result stays zero-valued/absent) and persists them to
+// its checkpoint store; serialize.MergeCheckpoints combines the shard
+// stores into one an unsharded run resumes to the full, bit-identical
+// result (distributed_test.go proves it). AppSpecificRun shards only its
+// PISA phase — every shard recomputes the cheap benchmarking phase in
+// full because the observed weight ranges it produces shape every PISA
+// cell's perturbation space.
 
 // freshSchedulers re-instantiates schedulers from the registry by name,
 // giving each worker its own copies (WBA carries a construction seed;
@@ -164,6 +174,12 @@ func PairwisePISARun(scheds []scheduler.Scheduler, opts PairwiseOptions, ro runn
 		return nil, err
 	}
 	for k, c := range cells {
+		if len(c.Instance) == 0 {
+			if ro.Shard.Owns(k) {
+				return nil, fmt.Errorf("experiments: cell %d has no instance", k)
+			}
+			continue // another shard's cell; only its store has it
+		}
 		i, j := runner.OffDiagonal(k, n)
 		inst, err := serialize.UnmarshalInstance(c.Instance)
 		if err != nil {
@@ -220,6 +236,9 @@ func FamilyRun(gen func(*rng.RNG) *graph.Instance, scheds []scheduler.Scheduler,
 		return nil, err
 	}
 	for _, ms := range cells {
+		if ms == nil {
+			continue // another shard's sample; a full run never skips
+		}
 		for i, name := range res.Schedulers {
 			res.Makespans[name] = append(res.Makespans[name], ms[i])
 		}
@@ -275,10 +294,14 @@ func RobustnessRun(inst *graph.Instance, s scheduler.Scheduler, sigma float64, n
 	if err != nil {
 		return nil, err
 	}
-	static := make([]float64, n)
-	adaptive := make([]float64, n)
+	static := make([]float64, 0, n)
+	adaptive := make([]float64, 0, n)
 	for k, c := range cells {
-		static[k], adaptive[k] = c.Static, c.Adaptive
+		if !ro.Shard.Owns(k) {
+			continue // summaries over this shard's samples only
+		}
+		static = append(static, c.Static)
+		adaptive = append(adaptive, c.Adaptive)
 	}
 	res.Static = stats.Summarize(static)
 	res.Adaptive = stats.Summarize(adaptive)
@@ -338,12 +361,19 @@ func AppSpecificRun(scheds []scheduler.Scheduler, opts AppSpecificOptions, ro ru
 	}
 
 	// Benchmarking row + observed weight ranges, one cell per instance.
+	// This phase always runs unsharded: the merged min/max ranges below
+	// parameterize every PISA cell's perturbation space, so each shard
+	// needs all of them to stay bit-identical to the sequential
+	// reference. The cells are deterministic, so the identical copies
+	// the shards store are deduplicated by serialize.MergeCheckpoints.
+	benchRO := ro
+	benchRO.Shard = runner.ShardSpec{}
 	nBench := opts.BenchmarkInstances
 	if nBench <= 0 {
 		nBench = 20
 	}
 	subs := splitStreams(opts.Anneal.Seed^0xA99, nBench)
-	benchCells, err := runner.Map(nBench, ro,
+	benchCells, err := runner.Map(nBench, benchRO,
 		func(k int) (appBenchCell, error) {
 			local, err := freshSchedulers(res.Schedulers)
 			if err != nil {
@@ -444,6 +474,12 @@ func AppSpecificRun(scheds []scheduler.Scheduler, opts AppSpecificOptions, ro ru
 		return nil, err
 	}
 	for k, c := range pisaCells {
+		if len(c.Instance) == 0 {
+			if ro.Shard.Owns(k) {
+				return nil, fmt.Errorf("experiments: cell %d has no instance", k)
+			}
+			continue // another shard's cell; only its store has it
+		}
 		i, j := runner.OffDiagonal(k, n)
 		inst, err := serialize.UnmarshalInstance(c.Instance)
 		if err != nil {

@@ -2,6 +2,10 @@
 // 1c, 3d-g, 5b/d, 6b/d) and the heatmap-style grids of Figs 2, 4 and
 // 10-19. It substitutes plain-text rendering for the paper's matplotlib
 // figures; the numbers are identical (DESIGN.md, substitution 5).
+//
+// Rendering is a pure function of its inputs — identical results
+// produce byte-identical text and SVG — which is what lets the
+// determinism suites diff whole figures.
 package render
 
 import (

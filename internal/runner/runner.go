@@ -18,6 +18,11 @@
 // Long sweeps can persist completed cells through the Checkpoint hook
 // (implemented by serialize.Checkpoint): each finished cell is stored as
 // JSON, and a resumed run skips every cell already on disk.
+//
+// Sweeps also scale past one process: Options.Shard restricts a run to
+// the cells with k % Count == Index while seeds stay derived from the
+// global cell position, so the union of the shards' checkpoint stores
+// (serialize.MergeCheckpoints) is bit-identical to a single-process run.
 package runner
 
 import (
@@ -25,6 +30,8 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strconv"
+	"strings"
 	"sync"
 )
 
@@ -42,6 +49,76 @@ type Options struct {
 	// resumed sweep: cells found in the store are decoded instead of
 	// recomputed. Cell results must round-trip through encoding/json.
 	Checkpoint Checkpoint
+	// Shard, when enabled, restricts the sweep to this process's slice of
+	// the cells (see ShardSpec). The zero value runs every cell.
+	Shard ShardSpec
+}
+
+// ShardSpec assigns one process its slice of a distributed sweep: a
+// shard runs only the cells whose index k satisfies k % Count == Index.
+// Cell indices — and with them CellSeed and the checkpoint keys — stay
+// global, so every shard computes exactly the cells (and bit-exact
+// values) the single-process run would, and the union of all Count
+// shards covers the sweep with no overlap. The zero value disables
+// sharding.
+//
+// A sharded Map returns a partial result: non-owned cells hold zero
+// values (unless the checkpoint store already supplied them). Shards are
+// combined through their checkpoint stores — run each shard with its own
+// store, merge with serialize.MergeCheckpoints, and resume any complete
+// run from the merged store.
+type ShardSpec struct {
+	Index int
+	Count int
+}
+
+// Enabled reports whether the spec restricts the sweep (Count > 0).
+// Count == 1 is a valid degenerate shard owning every cell.
+func (s ShardSpec) Enabled() bool { return s.Count > 0 }
+
+// Owns reports whether cell k belongs to this shard. A disabled spec
+// owns every cell.
+func (s ShardSpec) Owns(k int) bool { return !s.Enabled() || k%s.Count == s.Index }
+
+// Validate rejects malformed specs (negative Count, Index outside
+// [0, Count) when enabled).
+func (s ShardSpec) Validate() error {
+	if s.Count < 0 {
+		return fmt.Errorf("runner: shard count %d is negative", s.Count)
+	}
+	if s.Enabled() && (s.Index < 0 || s.Index >= s.Count) {
+		return fmt.Errorf("runner: shard index %d outside [0, %d)", s.Index, s.Count)
+	}
+	return nil
+}
+
+// String renders the spec in the I/C form ParseShard accepts.
+func (s ShardSpec) String() string { return fmt.Sprintf("%d/%d", s.Index, s.Count) }
+
+// ParseShard parses the "index/count" form used by CLI -shard flags
+// (e.g. "2/8" is the third of eight shards) into a validated, enabled
+// spec.
+func ParseShard(text string) (ShardSpec, error) {
+	idx, cnt, ok := strings.Cut(text, "/")
+	if !ok {
+		return ShardSpec{}, fmt.Errorf("runner: shard %q is not of the form index/count (e.g. 2/8)", text)
+	}
+	i, err := strconv.Atoi(idx)
+	if err != nil {
+		return ShardSpec{}, fmt.Errorf("runner: shard index %q: %v", idx, err)
+	}
+	c, err := strconv.Atoi(cnt)
+	if err != nil {
+		return ShardSpec{}, fmt.Errorf("runner: shard count %q: %v", cnt, err)
+	}
+	s := ShardSpec{Index: i, Count: c}
+	if c == 0 {
+		return ShardSpec{}, fmt.Errorf("runner: shard count must be at least 1")
+	}
+	if err := s.Validate(); err != nil {
+		return ShardSpec{}, err
+	}
+	return s, nil
 }
 
 // Checkpoint is the persistence hook behind Options.Checkpoint.
@@ -146,20 +223,29 @@ func Map[T any](n int, opts Options, fn func(index int) (T, error)) ([]T, error)
 // cells still receive position-derived seeds, so output remains
 // bit-identical for every worker count.
 func MapState[T, S any](n int, opts Options, newState func() S, fn func(index int, state S) (T, error)) ([]T, error) {
+	if err := opts.Shard.Validate(); err != nil {
+		return nil, err
+	}
 	out := make([]T, n)
 	if n == 0 {
 		return out, nil
 	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
 
+	// done marks cells this process will not compute: another shard's
+	// cells up front, then everything the checkpoint already holds.
+	// total counts the cells this shard owns — the denominator Progress
+	// reports.
 	done := make([]bool, n)
 	completed := 0
+	total := n
+	if opts.Shard.Enabled() {
+		for k := 0; k < n; k++ {
+			if !opts.Shard.Owns(k) {
+				done[k] = true
+				total--
+			}
+		}
+	}
 	if opts.Checkpoint != nil {
 		cells, err := opts.Checkpoint.Load()
 		if err != nil {
@@ -169,15 +255,27 @@ func MapState[T, S any](n int, opts Options, newState func() S, fn func(index in
 			if k < 0 || k >= n {
 				continue // a stale store from a differently-sized sweep
 			}
+			// Cells outside this shard still decode (a merged store must
+			// yield the full result) but never count as shard progress.
 			if err := json.Unmarshal(raw, &out[k]); err != nil {
 				return nil, fmt.Errorf("runner: checkpoint cell %d: %w", k, err)
 			}
-			done[k] = true
-			completed++
+			if !done[k] {
+				done[k] = true
+				completed++
+			}
 		}
 		if opts.Progress != nil && completed > 0 {
-			opts.Progress(completed, n)
+			opts.Progress(completed, total)
 		}
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
 	}
 
 	var (
@@ -220,7 +318,7 @@ func MapState[T, S any](n int, opts Options, newState func() S, fn func(index in
 				out[k] = v
 				completed++
 				if opts.Progress != nil {
-					opts.Progress(completed, n)
+					opts.Progress(completed, total)
 				}
 				mu.Unlock()
 			}

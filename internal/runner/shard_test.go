@@ -1,0 +1,223 @@
+package runner
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestParseShard(t *testing.T) {
+	good := map[string]ShardSpec{
+		"0/1": {Index: 0, Count: 1},
+		"2/8": {Index: 2, Count: 8},
+		"7/8": {Index: 7, Count: 8},
+	}
+	for text, want := range good {
+		got, err := ParseShard(text)
+		if err != nil || got != want {
+			t.Fatalf("ParseShard(%q) = %v, %v; want %v", text, got, err, want)
+		}
+		if got.String() != text {
+			t.Fatalf("ParseShard(%q).String() = %q", text, got.String())
+		}
+	}
+	for _, text := range []string{"", "3", "a/b", "1.5/4", "-1/4", "4/4", "8/4", "0/0", "0/-2"} {
+		if s, err := ParseShard(text); err == nil {
+			t.Fatalf("ParseShard(%q) accepted as %v", text, s)
+		}
+	}
+}
+
+func TestShardSpecOwnership(t *testing.T) {
+	var whole ShardSpec
+	if whole.Enabled() {
+		t.Fatal("zero ShardSpec is enabled")
+	}
+	for k := 0; k < 10; k++ {
+		if !whole.Owns(k) {
+			t.Fatalf("disabled shard does not own cell %d", k)
+		}
+	}
+	// Every cell is owned by exactly one of the Count shards.
+	const n, count = 23, 4
+	owners := make([]int, n)
+	for i := 0; i < count; i++ {
+		s := ShardSpec{Index: i, Count: count}
+		for k := 0; k < n; k++ {
+			if s.Owns(k) {
+				owners[k]++
+			}
+		}
+	}
+	for k, c := range owners {
+		if c != 1 {
+			t.Fatalf("cell %d owned by %d shards", k, c)
+		}
+	}
+}
+
+func TestMapRejectsInvalidShard(t *testing.T) {
+	for _, s := range []ShardSpec{{Index: -1, Count: 4}, {Index: 4, Count: 4}, {Index: 0, Count: -1}} {
+		_, err := Map(8, Options{Shard: s}, func(k int) (int, error) { return k, nil })
+		if err == nil {
+			t.Fatalf("shard %v accepted", s)
+		}
+	}
+}
+
+func TestMapShardedRunsOnlyOwnedCells(t *testing.T) {
+	const n, count = 17, 3
+	for index := 0; index < count; index++ {
+		shard := ShardSpec{Index: index, Count: count}
+		var mu sync.Mutex
+		ran := map[int]bool{}
+		out, err := Map(n, Options{Workers: 4, Shard: shard}, func(k int) (float64, error) {
+			mu.Lock()
+			ran[k] = true
+			mu.Unlock()
+			return cellValue(k), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < n; k++ {
+			if ran[k] != shard.Owns(k) {
+				t.Fatalf("shard %v: cell %d ran=%v owns=%v", shard, k, ran[k], shard.Owns(k))
+			}
+			want := 0.0
+			if shard.Owns(k) {
+				want = cellValue(k) // global position seed, not shard-local
+			}
+			if out[k] != want {
+				t.Fatalf("shard %v: cell %d = %v, want %v", shard, k, out[k], want)
+			}
+		}
+	}
+}
+
+// TestMapShardedProgressCountsOwnedCells pins the Progress contract for
+// shards: the total is the shard's cell count, not the sweep's.
+func TestMapShardedProgressCountsOwnedCells(t *testing.T) {
+	const n = 10
+	shard := ShardSpec{Index: 1, Count: 4} // owns cells 1, 5, 9
+	var calls [][2]int
+	_, err := Map(n, Options{Workers: 1, Shard: shard, Progress: func(done, total int) {
+		calls = append(calls, [2]int{done, total})
+	}}, func(k int) (int, error) { return k, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int{{1, 3}, {2, 3}, {3, 3}}
+	if len(calls) != len(want) {
+		t.Fatalf("progress calls %v, want %v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Fatalf("progress calls %v, want %v", calls, want)
+		}
+	}
+}
+
+// TestMapShardUnionResumesComplete is the in-process model of the
+// distributed protocol: shards write disjoint cells to their stores, the
+// union store resumes a full run without recomputing anything, and the
+// result is bit-identical to the unsharded reference.
+func TestMapShardUnionResumesComplete(t *testing.T) {
+	const n, count = 29, 4
+	want, err := Map(n, Options{Workers: 1}, func(k int) (float64, error) {
+		return cellValue(k), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	union := newMemCheckpoint()
+	for index := 0; index < count; index++ {
+		ck := newMemCheckpoint()
+		_, err := Map(n, Options{Workers: 3, Shard: ShardSpec{Index: index, Count: count}, Checkpoint: ck},
+			func(k int) (float64, error) { return cellValue(k), nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		shard := ShardSpec{Index: index, Count: count}
+		for k, raw := range ck.cells {
+			if !shard.Owns(k) {
+				t.Fatalf("shard %v stored foreign cell %d", shard, k)
+			}
+			if _, dup := union.cells[k]; dup {
+				t.Fatalf("cell %d stored by two shards", k)
+			}
+			union.cells[k] = raw
+		}
+	}
+	if len(union.cells) != n {
+		t.Fatalf("union covers %d of %d cells", len(union.cells), n)
+	}
+
+	recomputed := false
+	got, err := Map(n, Options{Workers: 2, Checkpoint: union}, func(k int) (float64, error) {
+		recomputed = true
+		return cellValue(k), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recomputed {
+		t.Fatal("resume from the union store recomputed cells")
+	}
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("cell %d = %v, want %v", k, got[k], want[k])
+		}
+	}
+}
+
+// TestMapShardedResumeFromMergedStore checks the reverse direction: a
+// sharded run handed a complete (merged) store decodes even cells it
+// does not own, so resuming a finished sweep is a no-op for any shard.
+func TestMapShardedResumeFromMergedStore(t *testing.T) {
+	const n = 12
+	full := newMemCheckpoint()
+	for k := 0; k < n; k++ {
+		raw, _ := json.Marshal(cellValue(k))
+		full.cells[k] = raw
+	}
+	ran := false
+	out, err := Map(n, Options{Shard: ShardSpec{Index: 0, Count: 3}, Checkpoint: full},
+		func(k int) (float64, error) { ran = true; return 0, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("complete store still recomputed cells")
+	}
+	for k := 0; k < n; k++ {
+		if out[k] != cellValue(k) {
+			t.Fatalf("cell %d = %v, want %v", k, out[k], cellValue(k))
+		}
+	}
+}
+
+func TestMapShardOwningNothing(t *testing.T) {
+	// A shard past the cell count owns nothing and must return cleanly.
+	out, err := Map(3, Options{Shard: ShardSpec{Index: 7, Count: 8}}, func(k int) (int, error) {
+		t.Fatalf("cell %d ran", k)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range out {
+		if v != 0 {
+			t.Fatalf("cell %d = %d", k, v)
+		}
+	}
+}
+
+func TestShardErrorMentionsForm(t *testing.T) {
+	_, err := ParseShard("nope")
+	if err == nil || !strings.Contains(err.Error(), "index/count") {
+		t.Fatalf("unhelpful parse error: %v", err)
+	}
+}

@@ -2,6 +2,13 @@
 // the PISA paper) and provides the shared machinery list schedulers use to
 // place tasks: per-node timelines, data-ready times, and earliest-finish
 // slot search with and without insertion.
+//
+// The key invariant is the Builder arena lifecycle: every slice a
+// Builder owns survives Reset/ResetTables, so a warm builder schedules
+// without heap allocation. Hot paths never construct builders — they
+// borrow the one owned by a scheduler.Scratch and finalize with
+// ScheduleInto, which reuses the caller's Schedule (see EXPERIMENTS.md,
+// "Hot-path memory discipline").
 package schedule
 
 import (

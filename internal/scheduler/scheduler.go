@@ -2,6 +2,14 @@
 // algorithm implements, a registry used by the CLI and the experiment
 // drivers, and the shared priority computations (upward rank, downward
 // rank, static level) that the list schedulers build on.
+//
+// It also owns Scratch, the per-worker bundle of reusable hot-path
+// buffers (precomputed graph.Tables, the schedule.Builder arena,
+// rank/order/ready-set slices, per-algorithm extension state). The two
+// Scratch invariants: one per goroutine, never shared — runner.MapState
+// hands each worker its own — and scratch state must never influence
+// results, only who allocates; sweeps stay bit-identical with or
+// without one.
 package scheduler
 
 import (

@@ -126,6 +126,20 @@ func (c *Checkpoint) Flush() error {
 	return c.writeLocked()
 }
 
+// Touch persists the store even when it holds no cells (Store/Flush
+// only write when something is pending). A shard of a distributed sweep
+// that owns zero cells still must leave a fingerprinted empty store
+// behind, or the merge would refuse the "missing" file despite the
+// other shards covering every cell.
+func (c *Checkpoint) Touch() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := os.Stat(c.path); err == nil {
+		return nil
+	}
+	return c.writeLocked()
+}
+
 // Remove deletes the store from disk — call it after a sweep completes
 // so a finished checkpoint is not mistaken for a resumable one.
 func (c *Checkpoint) Remove() error {

@@ -1,0 +1,110 @@
+package serialize
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// MergeCheckpoints combines the per-shard checkpoint stores of a
+// distributed sweep (runner.ShardSpec) into one complete store at
+// outPath, which any single-process run of the same sweep can then
+// resume from — loading every cell and recomputing nothing.
+//
+// Every shard store must carry the given fingerprint (the one the
+// unsharded sweep would use — shard identity lives in the file path, not
+// the fingerprint), so shards of a differently-parameterized sweep are
+// refused exactly as a stale resume would be. Cells present in more than
+// one store must be byte-identical — shards are deterministic, so any
+// disagreement means the stores belong to different sweeps. When total
+// is positive the merged store must cover every cell index in
+// [0, total); missing cells are reported by index so the operator knows
+// which shard to re-run, and cells outside the range are rejected as
+// belonging to a different sweep shape.
+//
+// It returns the number of cells written to the merged store.
+func MergeCheckpoints(outPath, fingerprint string, total int, shardPaths []string) (int, error) {
+	if len(shardPaths) == 0 {
+		return 0, fmt.Errorf("serialize: merge: no shard stores given")
+	}
+	merged := map[int]json.RawMessage{}
+	owner := map[int]string{}
+	for _, path := range shardPaths {
+		if _, err := os.Stat(path); err != nil {
+			// Load treats an absent file as an empty store (right for
+			// resuming, wrong here: a mistyped shard path must not
+			// silently shrink the merge).
+			return 0, fmt.Errorf("serialize: merge: shard store %s: %w", path, err)
+		}
+		ck := NewCheckpoint(path)
+		ck.SetFingerprint(fingerprint)
+		cells, err := ck.Load()
+		if err != nil {
+			return 0, fmt.Errorf("serialize: merge: %w", err)
+		}
+		for k, raw := range cells {
+			if total > 0 && (k < 0 || k >= total) {
+				return 0, fmt.Errorf("serialize: merge: %s holds cell %d outside the sweep's %d cells — wrong sweep parameters?",
+					path, k, total)
+			}
+			if prev, dup := merged[k]; dup {
+				if !bytes.Equal(prev, raw) {
+					return 0, fmt.Errorf("serialize: merge: cell %d differs between %s and %s — shards of different sweeps?",
+						k, owner[k], path)
+				}
+				continue
+			}
+			merged[k] = raw
+			owner[k] = path
+		}
+	}
+	if len(merged) == 0 {
+		return 0, fmt.Errorf("serialize: merge: shard stores hold no cells")
+	}
+	if total > 0 && len(merged) < total {
+		var missing []int
+		for k := 0; k < total; k++ {
+			if _, ok := merged[k]; !ok {
+				missing = append(missing, k)
+			}
+		}
+		return 0, fmt.Errorf("serialize: merge: %d of %d cells missing (indices %s) — re-run the shards owning them",
+			len(missing), total, formatIndices(missing, 20))
+	}
+
+	out := NewCheckpoint(outPath)
+	out.SetFingerprint(fingerprint)
+	out.SetFlushEvery(len(merged) + 1) // one atomic write below, not one per cell
+	keys := make([]int, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		if err := out.Store(k, merged[k]); err != nil {
+			return 0, err
+		}
+	}
+	if err := out.Flush(); err != nil {
+		return 0, err
+	}
+	return len(merged), nil
+}
+
+// formatIndices renders up to max indices, eliding the rest.
+func formatIndices(ks []int, max int) string {
+	var b bytes.Buffer
+	for i, k := range ks {
+		if i == max {
+			fmt.Fprintf(&b, ", … %d more", len(ks)-max)
+			break
+		}
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", k)
+	}
+	return b.String()
+}

@@ -5,6 +5,15 @@
 // Infinite link strengths (shared-filesystem networks, cloud-cloud
 // links) are encoded as the string "inf" since JSON has no infinity
 // literal.
+//
+// The package also owns sweep persistence: Checkpoint is the
+// fingerprinted, atomically-rewritten per-cell store behind
+// runner.Options.Checkpoint, and MergeCheckpoints combines the per-shard
+// stores of a distributed sweep into one. The invariants: a store is
+// bound to one sweep's exact parameters by its fingerprint and refuses
+// any other; writes are atomic (write-to-temp, rename), so a killed
+// sweep never leaves a truncated store; and a merged store is
+// indistinguishable from one a single process wrote.
 package serialize
 
 import (

@@ -1,6 +1,11 @@
 // Package stats provides the small set of summary statistics the
 // experiment drivers report: means, standard deviations, percentiles and
 // five-number summaries for the makespan distributions of Figs 7 and 8.
+//
+// Every function is a pure fold over its input in index order — no
+// sorting side effects on the caller's slice, no randomness — so
+// summaries inherit the bit-for-bit determinism of the sweeps that feed
+// them.
 package stats
 
 import (
