@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify bench-smoke bench docs-lint
+.PHONY: all build test verify bench-smoke bench bench-pisa bench-pisa-full docs-lint
 
 all: verify
 
@@ -17,9 +17,10 @@ test:
 	$(GO) test ./...
 
 # verify is the tier-1 check: everything builds, every test passes, the
-# hot path still schedules without allocating, and every package stays
-# documented.
-verify: build test docs-lint bench-smoke
+# hot path still schedules without allocating, the PISA inner loop stays
+# incremental (bit-identical and allocation-free), and every package
+# stays documented.
+verify: build test docs-lint bench-smoke bench-pisa
 
 # docs-lint fails if any internal/* package lacks a package comment
 # ("// Package <name> ..."). Every package must state its role and key
@@ -45,3 +46,20 @@ bench-smoke:
 # count=3, 400ms per sub-benchmark; record the per-scheduler minimum.
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkScheduleHotPath -benchmem -benchtime 400ms -count 3 .
+
+# bench-pisa is the PISA inner-loop smoke gate: the bit-identity suite
+# (incremental loop == copy-and-rebuild reference), the apply→undo
+# round-trip property, the 0 allocs/op gate for the steady-state
+# accept/reject cycle, and one -benchtime=1x pass over the new
+# benchmarks so they cannot rot. Part of `make verify`.
+bench-pisa:
+	$(GO) test -run 'TestRunBitIdenticalToReference|TestPerturbUndoRoundTrip|TestPISASteadyStateZeroAlloc|TestRunTracePreallocated' -count 1 ./internal/core/
+	$(GO) test -run '^$$' -bench 'BenchmarkPISAIteration|BenchmarkPISACandidateGen' -benchmem -benchtime 1x ./internal/core/
+	$(GO) test -run '^$$' -bench 'BenchmarkPISARun' -benchmem -benchtime 1x .
+
+# bench-pisa-full is the measurement protocol behind BENCH_pisa.json:
+# count=3, 300ms per iteration/candidate-gen sub-benchmark and 1s for
+# the end-to-end run; record the per-case minimum.
+bench-pisa-full:
+	$(GO) test -run '^$$' -bench 'BenchmarkPISAIteration|BenchmarkPISACandidateGen' -benchmem -benchtime 300ms -count 3 ./internal/core/
+	$(GO) test -run '^$$' -bench 'BenchmarkPISARun' -benchmem -benchtime 1s -count 3 .

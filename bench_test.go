@@ -399,6 +399,40 @@ func BenchmarkExactSolver(b *testing.B) {
 	}
 }
 
+// BenchmarkPISARun measures one full PISA run end to end — the
+// incremental inner loop (mutate in place, undo log, delta Tables
+// updates) against the retained copy-and-rebuild reference
+// (core.RunReference) on identical options, seeds, and scheduler pair.
+// The two produce byte-identical Results (proven in
+// internal/core/incremental_test.go), so the ratio of their ns/op is
+// the pure speedup of the candidate-generation rewrite. Per-iteration
+// numbers and the allocation gate live in
+// internal/core.BenchmarkPISAIteration; the committed record is
+// BENCH_pisa.json (`make bench-pisa` protocol).
+func BenchmarkPISARun(b *testing.B) {
+	variants := []struct {
+		name string
+		run  func(target, baseline scheduler.Scheduler, opts core.Options) (*core.Result, error)
+	}{
+		{"incremental", core.Run},
+		{"reference", core.RunReference},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			heft, cpop := mustSched(b, "HEFT"), mustSched(b, "CPoP")
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opts := smallAnneal(500, 2)
+				opts.Seed = uint64(i + 1)
+				opts.InitialInstance = datasets.InitialPISAInstance
+				if _, err := v.run(heft, cpop, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPISAPerturbation measures the perturbation+evaluation inner
 // loop in isolation.
 func BenchmarkPISAPerturbation(b *testing.B) {

@@ -145,14 +145,12 @@ func removeCheckpoint(label string, st *sweepStore) {
 }
 
 // runnerOptions assembles the worker pool configuration shared by every
-// parallel sweep: the -workers bound and, with -progress, a stderr
-// ticker.
+// parallel sweep: the -workers bound and, with -progress, the shared
+// stderr reporter (completion, cells/sec throughput, wall-clock ETA).
 func runnerOptions(label string) runner.Options {
 	opts := runner.Options{Workers: *flagWorkers}
 	if *flagProgress {
-		opts.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "%s: %d/%d cells\n", label, done, total)
-		}
+		opts.Progress = runner.ProgressPrinter(os.Stderr, label)
 	}
 	return opts
 }

@@ -563,9 +563,7 @@ func workerCmd(args []string) error {
 	ckpt.SetFingerprint(sw.Fingerprint)
 	ro := runner.Options{Workers: *workers, Shard: shard, Checkpoint: ckpt}
 	if *progress {
-		ro.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "worker %s %s: %d/%d cells\n", sw.Name, shard, done, total)
-		}
+		ro.Progress = runner.ProgressPrinter(os.Stderr, fmt.Sprintf("worker %s %s", sw.Name, shard))
 	}
 	if err := sw.Run(ro); err != nil {
 		return err

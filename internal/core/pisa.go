@@ -172,8 +172,24 @@ func (r *Result) TraceCSV() string {
 	return b.String()
 }
 
+// pisaExtKey is the scheduler.Scratch.Ext key under which Run keeps its
+// per-worker perturbState (undo log, enabled-op set, reachability
+// buffers), following the PR 2 ownership rule: per-worker state lives
+// in the worker's Scratch, never in shared or global storage.
+const pisaExtKey = "core.pisa"
+
 // Run executes PISA for target scheduler A against baseline B. The
 // result's Best instance maximizes m(S_A)/m(S_B) over the search.
+//
+// The inner loop mutates the current instance in place: each iteration
+// applies one perturbation operator directly to cur, patches the
+// scratch's precomputed cost tables incrementally (graph.Tables
+// Update*/AddDep/RemoveDep — never a full rebuild), evaluates, and on
+// rejection rolls the mutation back through the undo log. Results are
+// bit-identical to the retained copy-and-rebuild implementation
+// (RunReference); incremental_test.go proves it across perturbation
+// modes and scheduler pairs. Once warm, the steady-state accept/reject
+// cycle performs zero heap allocations.
 func Run(target, baseline scheduler.Scheduler, opts Options) (*Result, error) {
 	if opts.InitialInstance == nil {
 		return nil, errors.New("core: Options.InitialInstance is required")
@@ -188,18 +204,28 @@ func Run(target, baseline scheduler.Scheduler, opts Options) (*Result, error) {
 	p := opts.Perturb.withDefaults()
 	root := rng.New(opts.Seed)
 	ev := newEvaluator(target, baseline, opts.Scratch)
+	ps := ev.scr.Ext(pisaExtKey, func() any { return new(perturbState) }).(*perturbState)
+	ps.ops = append(ps.ops[:0], enabledOps(p)...)
 
-	res := &Result{BestRatio: math.Inf(-1)}
-	// One candidate and one incumbent-best buffer serve every annealing
-	// chain: each iteration copies the current state into the candidate
-	// in place of the reference implementation's per-iteration Clone, and
-	// pointer swaps implement acceptance. Only the returned Result.Best
-	// is ever cloned out of the buffers.
-	var cand, best *graph.Instance
+	res := &Result{
+		BestRatio:     math.Inf(-1),
+		RestartRatios: make([]float64, 0, opts.Restarts),
+	}
+	if opts.RecordTrace {
+		// The full capacity up front: the hot loop's appends must never
+		// trigger growth (each copies the whole trace so far).
+		res.Trace = make([]TracePoint, 0, opts.Restarts*opts.MaxIters)
+	}
+	// One incumbent-best buffer serves every annealing chain; only the
+	// returned Result.Best is ever cloned out of it. There is no
+	// candidate buffer — the candidate IS cur, mutated in place and
+	// rolled back on rejection.
+	var best *graph.Instance
 	for restart := 0; restart < opts.Restarts; restart++ {
 		r := root.Split()
 		cur := prepare(opts.InitialInstance(r), p)
-		curRatio, err := ev.ratio(cur)
+		tab := ev.prepare(cur)
+		initRatio, err := ev.ratioPrepared(cur)
 		if err != nil {
 			return nil, err
 		}
@@ -210,15 +236,12 @@ func Run(target, baseline scheduler.Scheduler, opts Options) (*Result, error) {
 		} else {
 			best.CopyFrom(cur)
 		}
-		bestRatio := curRatio
-		if cand == nil {
-			cand = cur.Clone()
-		}
+		bestRatio := initRatio
 		temp := opts.TMax
 		for iter := 0; temp > opts.TMin && iter < opts.MaxIters; iter++ {
-			cand.CopyFrom(cur)
-			perturb(cand, r, p)
-			candRatio, err := ev.ratio(cand)
+			perturbInPlace(cur, r, p, ps)
+			applyTables(tab, ps)
+			candRatio, err := ev.ratioPrepared(cur)
 			if err != nil {
 				return nil, err
 			}
@@ -226,22 +249,18 @@ func Run(target, baseline scheduler.Scheduler, opts Options) (*Result, error) {
 
 			accepted := false
 			if candRatio > bestRatio {
-				best.CopyFrom(cand)
+				best.CopyFrom(cur)
 				bestRatio = candRatio
-				cur, cand = cand, cur
-				curRatio = candRatio
 				accepted = true
 				if opts.OnImprove != nil {
 					opts.OnImprove(iter, bestRatio)
 				}
-			} else {
+			} else if r.Float64() < math.Exp(-(candRatio/bestRatio)/temp) {
 				// Algorithm 1 line 9: accept a non-improving candidate
 				// with probability exp(−(M'/M_best)/T).
-				if r.Float64() < math.Exp(-(candRatio/bestRatio)/temp) {
-					cur, cand = cand, cur
-					curRatio = candRatio
-					accepted = true
-				}
+				accepted = true
+			} else {
+				revert(cur, tab, ps)
 			}
 			if opts.RecordTrace {
 				res.Trace = append(res.Trace, TracePoint{
@@ -266,8 +285,10 @@ func Run(target, baseline scheduler.Scheduler, opts Options) (*Result, error) {
 
 // evaluator computes makespan ratios through the allocation-free
 // scheduling path: one scratch and one schedule pair reused for every
-// candidate. The tables are rebuilt (Prepare) per call because the
-// annealer mutates its candidate buffers in place between evaluations.
+// candidate. Two calling modes differ only in who keeps the scratch
+// tables honest: ratio rebuilds them per call (safe for arbitrary
+// instances — the GA path), while ratioPrepared trusts the annealer to
+// have patched them incrementally after each in-place mutation.
 type evaluator struct {
 	target, baseline scheduler.Scheduler
 	scr              *scheduler.Scratch
@@ -282,9 +303,26 @@ func newEvaluator(target, baseline scheduler.Scheduler, scr *scheduler.Scratch) 
 }
 
 // ratio returns the makespan ratio of the target over the baseline on
-// the instance.
+// the instance, rebuilding the cost tables first.
 func (e *evaluator) ratio(inst *graph.Instance) (float64, error) {
 	e.scr.Prepare(inst)
+	return e.ratioPrepared(inst)
+}
+
+// prepare builds the scratch tables for inst and hands them to the
+// caller for incremental maintenance: every in-place mutation of inst
+// must be mirrored through the tables' Update*/AddDep/RemoveDep methods
+// before the next ratioPrepared call (the graph.Tables staleness
+// contract).
+func (e *evaluator) prepare(inst *graph.Instance) *graph.Tables {
+	e.scr.Prepare(inst)
+	return e.scr.Tables(inst)
+}
+
+// ratioPrepared is ratio without the table rebuild: the scratch must
+// already hold tables for inst (via prepare) that reflect its current
+// weights and structure.
+func (e *evaluator) ratioPrepared(inst *graph.Instance) (float64, error) {
 	if err := scheduler.ScheduleInto(e.target, inst, e.scr, &e.st); err != nil {
 		return 0, fmt.Errorf("core: target %s failed: %w", e.target.Name(), err)
 	}

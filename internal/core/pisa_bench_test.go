@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"saga/internal/datasets"
+	"saga/internal/graph"
+	"saga/internal/rng"
+	"saga/internal/scheduler"
+	_ "saga/internal/schedulers"
+)
+
+func benchSched(b *testing.B, name string) scheduler.Scheduler {
+	b.Helper()
+	s, err := scheduler.New(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// pisaBenchInstances are the annealing workloads BenchmarkPISAIteration
+// sweeps. The candidate-generation overhead the incremental loop
+// removes — instance copy, link-table rebuild, per-edge average pair
+// loops — grows with the network (O(|V|²) and O(|D|·|V|²) terms) while
+// scheduling grows roughly linearly in |V|, so the speedup rises with
+// node count: the Section VI chain (3-5 nodes) measures the paper's
+// pairwise grid, the fog/cloud scales measure the repo's edge-fog-cloud
+// scenarios (datasets.EdgeFogCloudNetwork is ~100 nodes).
+func pisaBenchInstances() map[string]*graph.Instance {
+	r := rng.New(0x90a)
+	chainOn := func(net *graph.Network) *graph.Instance {
+		g := graph.NewTaskGraph()
+		prev := -1
+		for i := 0; i < 5; i++ {
+			t := g.AddTask(fmt.Sprintf("t%d", i), r.Float64())
+			if prev >= 0 {
+				g.MustAddDep(prev, t, r.Float64())
+			}
+			prev = t
+		}
+		return graph.NewInstance(g, net)
+	}
+	wide := graph.NewNetwork(48)
+	for v := range wide.Speeds {
+		wide.Speeds[v] = 0.01 + r.Float64()
+		for u := v + 1; u < wide.NumNodes(); u++ {
+			wide.SetLink(v, u, 0.01+r.Float64())
+		}
+	}
+	return map[string]*graph.Instance{
+		"chain": datasets.InitialPISAInstance(r.Split()),
+		"fog48": chainOn(wide),
+		"cloud": chainOn(datasets.EdgeFogCloudNetwork(r.Split())),
+	}
+}
+
+// BenchmarkPISAIteration measures one steady-state annealing iteration
+// for the HEFT-vs-CPoP pair — perturb, evaluate both schedulers, and
+// accept (incumbent copy) or reject (roll back) — comparing the
+// incremental inner loop (mutate in place, undo log, delta Tables
+// updates) against the retained copy-and-rebuild reference (full
+// Instance copy + full Tables rebuild per candidate) across the
+// workload scales of pisaBenchInstances. Run with -benchmem: the
+// incremental cycle must report 0 allocs/op once warm at every scale
+// (`make bench-pisa` gates it, and TestPISASteadyStateZeroAlloc asserts
+// it exactly). Committed numbers live in BENCH_pisa.json.
+func BenchmarkPISAIteration(b *testing.B) {
+	p := DefaultPerturb().withDefaults()
+	for _, scale := range []string{"chain", "fog48", "cloud"} {
+		inst0 := pisaBenchInstances()[scale]
+
+		b.Run(scale+"/incremental", func(b *testing.B) {
+			r := rng.New(0xbe7c)
+			cur := inst0.Clone()
+			ev := newEvaluator(benchSched(b, "HEFT"), benchSched(b, "CPoP"), nil)
+			ps := &perturbState{ops: enabledOps(p)}
+			tab := ev.prepare(cur)
+			best := cur.Clone()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				perturbInPlace(cur, r, p, ps)
+				applyTables(tab, ps)
+				ratio, err := ev.ratioPrepared(cur)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if math.IsNaN(ratio) {
+					b.Fatal("NaN ratio")
+				}
+				if i%3 == 0 {
+					best.CopyFrom(cur) // accept + new incumbent
+				} else {
+					revert(cur, tab, ps) // reject
+				}
+			}
+		})
+
+		b.Run(scale+"/reference", func(b *testing.B) {
+			r := rng.New(0xbe7c)
+			cur := inst0.Clone()
+			ev := newEvaluator(benchSched(b, "HEFT"), benchSched(b, "CPoP"), nil)
+			cand := cur.Clone()
+			best := cur.Clone()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cand.CopyFrom(cur)
+				refPerturb(cand, r, p)
+				ratio, err := ev.ratio(cand)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if math.IsNaN(ratio) {
+					b.Fatal("NaN ratio")
+				}
+				if i%3 == 0 {
+					best.CopyFrom(cand)
+					cur, cand = cand, cur
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPISACandidateGen isolates exactly the work this rewrite
+// replaced — producing one candidate from the current state and undoing
+// a rejection, with no scheduler evaluation: perturb-in-place + delta
+// table patch + undo-log rollback, versus full Instance.CopyFrom + full
+// Tables rebuild (the per-edge averages included, as every rank-reading
+// scheduler forces them). The per-iteration evaluation cost that
+// remains in BenchmarkPISAIteration is identical on both sides.
+func BenchmarkPISACandidateGen(b *testing.B) {
+	p := DefaultPerturb().withDefaults()
+	for _, scale := range []string{"chain", "fog48", "cloud"} {
+		inst0 := pisaBenchInstances()[scale]
+
+		b.Run(scale+"/incremental", func(b *testing.B) {
+			r := rng.New(0xbe7c)
+			cur := inst0.Clone()
+			ps := &perturbState{ops: enabledOps(p)}
+			var tab graph.Tables
+			tab.Build(cur)
+			tab.EnsureAvgComm()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				perturbInPlace(cur, r, p, ps)
+				applyTables(&tab, ps)
+				tab.EnsureAvgComm() // what a rank-reading scheduler would force
+				revert(cur, &tab, ps)
+			}
+		})
+
+		b.Run(scale+"/reference", func(b *testing.B) {
+			r := rng.New(0xbe7c)
+			cur := inst0.Clone()
+			cand := cur.Clone()
+			var tab graph.Tables
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cand.CopyFrom(cur)
+				refPerturb(cand, r, p)
+				tab.Build(cand)
+				tab.EnsureAvgComm()
+			}
+		})
+	}
+}

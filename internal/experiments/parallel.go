@@ -21,7 +21,11 @@ import (
 // runner.Map: seeds derive from cell position (runner.CellSeed or
 // pre-split rng sub-streams), results land by cell index, and schedulers
 // are re-instantiated from the registry per cell so no state is shared
-// between workers. The parallel results are bit-identical to the
+// between workers. The per-worker scheduler.Scratch threaded through
+// runner.MapState carries everything PISA's incremental inner loop
+// reuses — the patched cost tables, the undo log, the reachability
+// buffers — so a worker's whole annealing chain runs allocation-free
+// after warm-up without sharing a byte with its siblings. The parallel results are bit-identical to the
 // sequential drivers for every worker count — the determinism suite in
 // determinism_test.go asserts it for all six.
 //

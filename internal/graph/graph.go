@@ -169,6 +169,78 @@ func (g *TaskGraph) SetDepCost(u, v int, cost float64) bool {
 	return true
 }
 
+// AddDepUnchecked appends dependency (u, v) without AddDep's validity
+// checks. The caller must guarantee the edge is in range, new, not a
+// self-loop, and acyclic — the PISA hot loop performs those checks
+// itself with reusable buffers (ReachScratch) before calling. The edge
+// lands at the tail of both adjacency lists, so a following
+// RemoveDep(u, v) undoes the call byte-identically.
+func (g *TaskGraph) AddDepUnchecked(u, v int, cost float64) {
+	g.Succ[u] = append(g.Succ[u], Dep{To: v, Cost: cost})
+	g.Pred[v] = append(g.Pred[v], Dep{To: u, Cost: cost})
+}
+
+// TakeDep removes dependency (u, v) like RemoveDep but also returns its
+// cost and its positions in the two adjacency lists so RestoreDep can
+// reinsert it exactly where it was. Adjacency order is part of an
+// instance's identity — it determines Deps/DepAt indexing, the
+// serialization byte stream, and the annealer's RNG-driven edge picks —
+// so an undo must restore position, not merely membership.
+func (g *TaskGraph) TakeDep(u, v int) (cost float64, si, pi int, ok bool) {
+	si = -1
+	for i, d := range g.Succ[u] {
+		if d.To == v {
+			si, cost = i, d.Cost
+			break
+		}
+	}
+	if si < 0 {
+		return 0, 0, 0, false
+	}
+	pi = -1
+	for i, d := range g.Pred[v] {
+		if d.To == u {
+			pi = i
+			break
+		}
+	}
+	if pi < 0 {
+		return 0, 0, 0, false
+	}
+	g.Succ[u] = append(g.Succ[u][:si], g.Succ[u][si+1:]...)
+	g.Pred[v] = append(g.Pred[v][:pi], g.Pred[v][pi+1:]...)
+	return cost, si, pi, true
+}
+
+// RestoreDep reinserts dependency (u, v) at the adjacency positions a
+// TakeDep returned, undoing the removal byte-identically. Called
+// immediately after the matching TakeDep, the slices still hold the
+// capacity the removal freed, so the insertion does not allocate.
+func (g *TaskGraph) RestoreDep(u, v int, cost float64, si, pi int) {
+	g.Succ[u] = insertDep(g.Succ[u], si, Dep{To: v, Cost: cost})
+	g.Pred[v] = insertDep(g.Pred[v], pi, Dep{To: u, Cost: cost})
+}
+
+func insertDep(s []Dep, i int, d Dep) []Dep {
+	s = append(s, Dep{})
+	copy(s[i+1:], s[i:])
+	s[i] = d
+	return s
+}
+
+// DepAt returns the k-th dependency in successor-list order — the same
+// indexing as Deps()[k] — without allocating. It panics if k is out of
+// range.
+func (g *TaskGraph) DepAt(k int) (u, v int) {
+	for t, succ := range g.Succ {
+		if k < len(succ) {
+			return t, succ[k].To
+		}
+		k -= len(succ)
+	}
+	panic("graph: dependency index out of range")
+}
+
 // Deps returns every dependency as a (from, to) pair in successor-list
 // order. The slice is freshly allocated.
 func (g *TaskGraph) Deps() [][2]int {
@@ -200,6 +272,48 @@ func (g *TaskGraph) Reaches(u, v int) bool {
 			if !seen[d.To] {
 				seen[d.To] = true
 				stack = append(stack, d.To)
+			}
+		}
+	}
+	return false
+}
+
+// ReachScratch is the allocation-free counterpart of Reaches: the
+// visited set and DFS stack are reused across calls. A scratch is not
+// safe for concurrent use; the PISA hot loop keeps one per worker
+// (inside scheduler.Scratch's extension state).
+type ReachScratch struct {
+	seen  []bool
+	stack []int
+}
+
+// Reaches reports whether there is a directed path from u to v in g
+// (including u == v). It visits the same nodes in the same order as
+// TaskGraph.Reaches, only with reused buffers.
+func (rs *ReachScratch) Reaches(g *TaskGraph, u, v int) bool {
+	if u == v {
+		return true
+	}
+	n := len(g.Tasks)
+	if cap(rs.seen) < n {
+		rs.seen = make([]bool, n)
+	}
+	rs.seen = rs.seen[:n]
+	for i := range rs.seen {
+		rs.seen[i] = false
+	}
+	rs.stack = append(rs.stack[:0], u)
+	rs.seen[u] = true
+	for len(rs.stack) > 0 {
+		x := rs.stack[len(rs.stack)-1]
+		rs.stack = rs.stack[:len(rs.stack)-1]
+		for _, d := range g.Succ[x] {
+			if d.To == v {
+				return true
+			}
+			if !rs.seen[d.To] {
+				rs.seen[d.To] = true
+				rs.stack = append(rs.stack, d.To)
 			}
 		}
 	}

@@ -1,0 +1,217 @@
+package graph
+
+import (
+	"testing"
+)
+
+// incInstance builds a small heterogeneous instance exercising every
+// table: 5 tasks in a diamond-plus-tail DAG over 4 nodes.
+func incInstance() *Instance {
+	g := NewTaskGraph()
+	a := g.AddTask("a", 2)
+	b := g.AddTask("b", 3)
+	c := g.AddTask("c", 5)
+	d := g.AddTask("d", 7)
+	e := g.AddTask("e", 11)
+	g.MustAddDep(a, b, 1.5)
+	g.MustAddDep(a, c, 2.5)
+	g.MustAddDep(b, d, 3.5)
+	g.MustAddDep(c, d, 4.5)
+	g.MustAddDep(d, e, 5.5)
+	net := NewNetwork(4)
+	for v := range net.Speeds {
+		net.Speeds[v] = 0.5 + 0.3*float64(v)
+		for u := v + 1; u < net.NumNodes(); u++ {
+			net.SetLink(v, u, 0.4+0.2*float64(u+v))
+		}
+	}
+	return NewInstance(g, net)
+}
+
+// assertTablesEqual compares every field of two built tables bit for
+// bit, including the lazily built per-edge averages.
+func assertTablesEqual(t *testing.T, got, want *Tables, g *TaskGraph) {
+	t.Helper()
+	got.EnsureAvgComm()
+	want.EnsureAvgComm()
+	if got.NTasks != want.NTasks || got.NNodes != want.NNodes {
+		t.Fatalf("shape diverged: (%d,%d) vs (%d,%d)", got.NTasks, got.NNodes, want.NTasks, want.NNodes)
+	}
+	eq := func(name string, a, b []float64) {
+		t.Helper()
+		if len(a) != len(b) {
+			t.Fatalf("%s length %d vs %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s[%d]: %v vs %v", name, i, a[i], b[i])
+			}
+		}
+	}
+	eq("InvSpeed", got.InvSpeed, want.InvSpeed)
+	eq("LinkFlat", got.LinkFlat, want.LinkFlat)
+	eq("InvLink", got.InvLink, want.InvLink)
+	eq("AvgExec", got.AvgExec, want.AvgExec)
+	eq("Exec", got.Exec, want.Exec)
+	eq("avgComm", got.avgComm, want.avgComm)
+	if len(got.Topo) != len(want.Topo) {
+		t.Fatalf("Topo length %d vs %d", len(got.Topo), len(want.Topo))
+	}
+	for i := range got.Topo {
+		if got.Topo[i] != want.Topo[i] {
+			t.Fatalf("Topo[%d]: %d vs %d", i, got.Topo[i], want.Topo[i])
+		}
+	}
+	if (got.TopoErr == nil) != (want.TopoErr == nil) {
+		t.Fatalf("TopoErr: %v vs %v", got.TopoErr, want.TopoErr)
+	}
+}
+
+// TestTablesIncrementalUpdates drives each Update* method through a
+// mutation and checks the patched tables against a fresh Build, bit
+// for bit — the delta updates' core guarantee.
+func TestTablesIncrementalUpdates(t *testing.T) {
+	steps := []struct {
+		name   string
+		mutate func(inst *Instance, tb *Tables)
+	}{
+		{"NodeSpeed", func(inst *Instance, tb *Tables) {
+			inst.Net.Speeds[2] = 1.9
+			tb.UpdateNodeSpeed(2)
+		}},
+		{"LinkSpeed", func(inst *Instance, tb *Tables) {
+			inst.Net.SetLink(1, 3, 0.05)
+			tb.UpdateLinkSpeed(1, 3)
+		}},
+		{"TaskWeight", func(inst *Instance, tb *Tables) {
+			inst.Graph.Tasks[3].Cost = 0.125
+			tb.UpdateTaskWeight(3)
+		}},
+		{"DepWeight", func(inst *Instance, tb *Tables) {
+			inst.Graph.SetDepCost(2, 3, 9.5)
+			tb.UpdateDepWeight(2, 3)
+		}},
+		{"AddDep", func(inst *Instance, tb *Tables) {
+			inst.Graph.AddDepUnchecked(1, 4, 0.75)
+			tb.AddDep(1, 4)
+		}},
+		{"RemoveDep", func(inst *Instance, tb *Tables) {
+			inst.Graph.RemoveDep(0, 2)
+			tb.RemoveDep(0, 2)
+		}},
+	}
+	// Cumulative: each step mutates the same instance, so later patches
+	// must hold on states earlier patches produced. Run once with the
+	// avgComm table pre-built (patch path) and once without (lazy path).
+	for _, prebuild := range []bool{true, false} {
+		inst := incInstance()
+		var tb Tables
+		tb.Build(inst)
+		if prebuild {
+			tb.EnsureAvgComm()
+		}
+		for _, s := range steps {
+			s.mutate(inst, &tb)
+			var fresh Tables
+			fresh.Build(inst)
+			assertTablesEqual(t, &tb, &fresh, inst.Graph)
+		}
+	}
+}
+
+// TestTablesUpdateDiagonalLinkIgnored mirrors Network.SetLink's
+// self-link semantics.
+func TestTablesUpdateDiagonalLinkIgnored(t *testing.T) {
+	inst := incInstance()
+	var tb Tables
+	tb.Build(inst)
+	tb.UpdateLinkSpeed(2, 2) // must be a no-op, not a corruption
+	var fresh Tables
+	fresh.Build(inst)
+	assertTablesEqual(t, &tb, &fresh, inst.Graph)
+}
+
+func TestTakeRestoreDepPreservesOrder(t *testing.T) {
+	inst := incInstance()
+	g := inst.Graph
+	wantDeps := g.Deps()
+	cost, si, pi, ok := g.TakeDep(0, 2) // middle of a's successor list
+	if !ok || cost != 2.5 {
+		t.Fatalf("TakeDep = (%v, ok=%v), want (2.5, true)", cost, ok)
+	}
+	if g.HasDep(0, 2) {
+		t.Fatal("edge still present after TakeDep")
+	}
+	g.RestoreDep(0, 2, cost, si, pi)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	gotDeps := g.Deps()
+	if len(gotDeps) != len(wantDeps) {
+		t.Fatalf("dep count %d, want %d", len(gotDeps), len(wantDeps))
+	}
+	for i := range wantDeps {
+		if gotDeps[i] != wantDeps[i] {
+			t.Fatalf("Deps()[%d] = %v, want %v (order not restored)", i, gotDeps[i], wantDeps[i])
+		}
+	}
+	if _, _, _, ok := g.TakeDep(4, 0); ok {
+		t.Fatal("TakeDep invented a missing edge")
+	}
+}
+
+func TestDepAtMatchesDeps(t *testing.T) {
+	g := incInstance().Graph
+	deps := g.Deps()
+	for k, d := range deps {
+		u, v := g.DepAt(k)
+		if u != d[0] || v != d[1] {
+			t.Fatalf("DepAt(%d) = (%d,%d), want %v", k, u, v, d)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DepAt out of range did not panic")
+		}
+	}()
+	g.DepAt(len(deps))
+}
+
+func TestReachScratchMatchesReaches(t *testing.T) {
+	g := incInstance().Graph
+	var rs ReachScratch
+	for u := 0; u < g.NumTasks(); u++ {
+		for v := 0; v < g.NumTasks(); v++ {
+			if got, want := rs.Reaches(g, u, v), g.Reaches(u, v); got != want {
+				t.Fatalf("ReachScratch.Reaches(%d,%d) = %v, Reaches = %v", u, v, got, want)
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		rs.Reaches(g, 0, 4)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm ReachScratch.Reaches allocates %.1f/op", allocs)
+	}
+}
+
+func TestAddDepUncheckedTailUndo(t *testing.T) {
+	g := incInstance().Graph
+	before := g.Deps()
+	g.AddDepUnchecked(1, 2, 0.33)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.RemoveDep(1, 2) {
+		t.Fatal("added edge missing")
+	}
+	after := g.Deps()
+	if len(after) != len(before) {
+		t.Fatalf("dep count %d, want %d", len(after), len(before))
+	}
+	for i := range before {
+		if after[i] != before[i] {
+			t.Fatalf("Deps()[%d] = %v, want %v", i, after[i], before[i])
+		}
+	}
+}

@@ -18,9 +18,11 @@ import "math"
 // calling the Instance methods directly.
 //
 // Tables is a snapshot: it does not observe later mutations of the
-// instance. Callers that perturb weights or structure must call Build
-// again before the next use (package core does so once per annealing
-// candidate).
+// instance. Callers that perturb weights or structure must either call
+// Build again before the next use, or patch the affected entries
+// through the incremental maintenance methods below (the PISA annealer
+// does the latter once per in-place perturbation — see the staleness
+// contract at UpdateNodeSpeed).
 type Tables struct {
 	// NTasks and NNodes record the shape the tables were built for.
 	NTasks, NNodes int
@@ -88,7 +90,7 @@ func (tb *Tables) EnsureAvgComm() {
 	if tb.avgCommBuilt {
 		return
 	}
-	g, net := tb.src.Graph, tb.src.Net
+	g := tb.src.Graph
 	nT := g.NumTasks()
 	nD := g.NumDeps()
 	tb.avgComm = growF64(tb.avgComm, 2*nD)
@@ -98,7 +100,7 @@ func (tb *Tables) EnsureAvgComm() {
 	for t := 0; t < nT; t++ {
 		tb.succOff[t] = off
 		for i, d := range g.Succ[t] {
-			tb.avgComm[off+i] = avgCommTime(net, d.Cost)
+			tb.avgComm[off+i] = tb.avgCommTimeFlat(d.Cost)
 		}
 		off += len(g.Succ[t])
 	}
@@ -200,6 +202,213 @@ func succIndex(g *TaskGraph, u, v int) int {
 		}
 	}
 	panic("graph: predecessor list references missing successor edge")
+}
+
+// predIndex returns the position of edge (u, v) in g.Pred[v]; it panics
+// if the adjacency lists are inconsistent.
+func predIndex(g *TaskGraph, v, u int) int {
+	for i, d := range g.Pred[v] {
+		if d.To == u {
+			return i
+		}
+	}
+	panic("graph: successor list references missing predecessor edge")
+}
+
+// Incremental maintenance.
+//
+// The Update* methods below patch a built Tables in place after a
+// single in-place mutation of the source instance (the one passed to
+// the last Build), instead of rebuilding every table. Each method
+// reproduces Build's floating-point operations for the affected entries
+// in Build's exact order, so a patched Tables is bit-identical to a
+// freshly built one — the property the PISA annealer's incremental
+// inner loop (internal/core) relies on and incremental_test.go pins
+// down.
+//
+// Staleness contract — after mutating the built instance, call:
+//
+//	Net.Speeds[v] changed        → UpdateNodeSpeed(v)
+//	Net.SetLink(u, v, w)         → UpdateLinkSpeed(u, v)
+//	Graph.Tasks[t].Cost changed  → UpdateTaskWeight(t)
+//	Graph.SetDepCost(u, v, w)    → UpdateDepWeight(u, v)
+//	dependency (u, v) added      → AddDep(u, v)
+//	dependency (u, v) removed    → RemoveDep(u, v)
+//
+// Any other mutation — adding or removing tasks or nodes, bulk
+// rewrites, pointing at a different instance — still requires a full
+// Build (scheduler.Scratch.Prepare). The methods panic or corrupt
+// silently if called on a Tables that was never built.
+
+// UpdateNodeSpeed patches the tables after Net.Speeds[v] changed in
+// place: the inverse speed, node v's column of the dense exec-time
+// matrix, and every per-task average (recomputed by summing the stored
+// row in Build's order, so the result is bit-identical to a rebuild).
+// Link and communication tables are untouched — speeds never enter
+// them. O(|T|·|V|).
+func (tb *Tables) UpdateNodeSpeed(v int) {
+	g, net := tb.src.Graph, tb.src.Net
+	nV := tb.NNodes
+	tb.InvSpeed[v] = 1 / net.Speeds[v]
+	for t := 0; t < tb.NTasks; t++ {
+		tb.Exec[t*nV+v] = g.Tasks[t].Cost / net.Speeds[v]
+		sum := 0.0
+		for u := 0; u < nV; u++ {
+			sum += tb.Exec[t*nV+u]
+		}
+		tb.AvgExec[t] = sum / float64(nV)
+	}
+}
+
+// UpdateLinkSpeed patches the tables after Net.SetLink(u, v, ·): both
+// symmetric entries of the flattened link matrix and its inverse. The
+// per-edge average-communication table is invalidated rather than
+// patched — every edge's average sums over all node pairs, so one link
+// change touches all of it; the next EnsureAvgComm rebuilds it lazily
+// (reusing storage) only if a scheduler actually reads it. O(1).
+func (tb *Tables) UpdateLinkSpeed(u, v int) {
+	if u == v {
+		return
+	}
+	net := tb.src.Net
+	nV := tb.NNodes
+	for _, e := range [2][2]int{{u, v}, {v, u}} {
+		w := net.Links[e[0]][e[1]]
+		tb.LinkFlat[e[0]*nV+e[1]] = w
+		if math.IsInf(w, 1) {
+			tb.InvLink[e[0]*nV+e[1]] = 0
+		} else {
+			tb.InvLink[e[0]*nV+e[1]] = 1 / w
+		}
+	}
+	tb.avgCommBuilt = false
+}
+
+// UpdateTaskWeight patches the tables after Graph.Tasks[t].Cost changed
+// in place: task t's row of the dense exec-time matrix and its average,
+// recomputed with Build's exact division-and-sum order. Communication
+// tables are untouched — task costs never enter them. O(|V|).
+func (tb *Tables) UpdateTaskWeight(t int) {
+	g, net := tb.src.Graph, tb.src.Net
+	nV := tb.NNodes
+	cost := g.Tasks[t].Cost
+	sum := 0.0
+	for v := 0; v < nV; v++ {
+		e := cost / net.Speeds[v]
+		tb.Exec[t*nV+v] = e
+		sum += e
+	}
+	tb.AvgExec[t] = sum / float64(nV)
+}
+
+// UpdateDepWeight patches the tables after Graph.SetDepCost(u, v, ·):
+// the edge's two aligned entries (successor- and predecessor-ordered) of
+// the per-edge average-communication table, if it is currently built.
+// An unbuilt table needs nothing — the lazy EnsureAvgComm reads the
+// live instance. O(|V|²) for the one edge's pair loop, versus the full
+// table's O(|D|·|V|²).
+func (tb *Tables) UpdateDepWeight(u, v int) {
+	if !tb.avgCommBuilt {
+		return
+	}
+	g := tb.src.Graph
+	cost, _ := g.DepCost(u, v)
+	a := tb.avgCommTimeFlat(cost)
+	tb.avgComm[tb.succOff[u]+succIndex(g, u, v)] = a
+	tb.avgComm[tb.predOff[v]+predIndex(g, v, u)] = a
+}
+
+// AvgCommOf returns edge (u, v)'s entry of the per-edge average table
+// and whether the table is currently built. The annealer reads it
+// before an UpdateDepWeight patch so a rejected dep-weight candidate
+// can restore the old value in O(1) (SetAvgComm) instead of re-running
+// the O(|V|²) pair loop.
+func (tb *Tables) AvgCommOf(u, v int) (float64, bool) {
+	if !tb.avgCommBuilt {
+		return 0, false
+	}
+	g := tb.src.Graph
+	return tb.avgComm[tb.succOff[u]+succIndex(g, u, v)], true
+}
+
+// SetAvgComm writes a known average-communication value into both
+// aligned entries of edge (u, v) — the O(1) undo of an UpdateDepWeight
+// patch. The value must be one AvgCommOf returned for the identical
+// link state; anything else desynchronizes the table.
+func (tb *Tables) SetAvgComm(u, v int, a float64) {
+	if !tb.avgCommBuilt {
+		return
+	}
+	g := tb.src.Graph
+	tb.avgComm[tb.succOff[u]+succIndex(g, u, v)] = a
+	tb.avgComm[tb.predOff[v]+predIndex(g, v, u)] = a
+}
+
+// SnapshotAvgComm copies the built per-edge average table into dst
+// (reusing its capacity) and reports whether a snapshot was taken —
+// false when the table is not currently built, in which case there is
+// nothing to preserve. Taken before an UpdateLinkSpeed invalidation, it
+// lets a rejected link-weight candidate restore the table in O(|D|)
+// (RestoreAvgComm) instead of re-running the O(|D|·|V|²) rebuild.
+func (tb *Tables) SnapshotAvgComm(dst []float64) ([]float64, bool) {
+	if !tb.avgCommBuilt {
+		return dst[:0], false
+	}
+	return append(dst[:0], tb.avgComm...), true
+}
+
+// RestoreAvgComm reinstates a SnapshotAvgComm snapshot and marks the
+// table built. Only valid when the instance's links and adjacency are
+// back in the exact state the snapshot was taken under (the offsets are
+// not saved, so no structural change may intervene).
+func (tb *Tables) RestoreAvgComm(snap []float64) {
+	tb.avgComm = append(tb.avgComm[:0], snap...)
+	tb.avgCommBuilt = true
+}
+
+// AddDep patches the tables after dependency (u, v) was added to the
+// source graph: the cached topological order is recomputed (buffers
+// reused, no allocation) and the per-edge average table invalidated —
+// its offsets are aligned with the adjacency lists that just shifted.
+// Weight tables are untouched; edges never enter them.
+func (tb *Tables) AddDep(u, v int) { tb.structureChanged() }
+
+// RemoveDep patches the tables after dependency (u, v) was removed from
+// the source graph; see AddDep.
+func (tb *Tables) RemoveDep(u, v int) { tb.structureChanged() }
+
+func (tb *Tables) structureChanged() {
+	tb.avgCommBuilt = false
+	tb.buildTopo(tb.src.Graph)
+}
+
+// avgCommTimeFlat is avgCommTime against the flattened link tables:
+// the identical divisions in the identical pair order (InvLink == 0 off
+// the diagonal exactly when the link is infinitely strong), so results
+// are bit-identical — just without the nested-slice loads and IsInf
+// calls of the Instance pair loop. This is the hot form: EnsureAvgComm
+// and UpdateDepWeight sit on the PISA inner loop's rebuild path.
+func (tb *Tables) avgCommTimeFlat(cost float64) float64 {
+	if cost == 0 {
+		return 0
+	}
+	nV := tb.NNodes
+	if nV < 2 {
+		return 0
+	}
+	sum := 0.0
+	count := 0
+	for a := 0; a < nV; a++ {
+		row := tb.LinkFlat[a*nV : a*nV+nV]
+		inv := tb.InvLink[a*nV : a*nV+nV]
+		for b := a + 1; b < nV; b++ {
+			if inv[b] != 0 {
+				sum += cost / row[b]
+			}
+			count++
+		}
+	}
+	return sum / float64(count)
 }
 
 // avgCommTime mirrors Instance.AvgCommTime for a known edge cost.

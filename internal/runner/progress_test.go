@@ -1,0 +1,119 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProgressPrinterRateAndETA(t *testing.T) {
+	var out strings.Builder
+	clock := time.Unix(1000, 0)
+	now := func() time.Time { return clock }
+	cb := progressPrinter(&out, "fig4", now)
+
+	cb(10, 100) // baseline: bare count, no rate yet
+	clock = clock.Add(10 * time.Second)
+	cb(30, 100) // 20 cells in 10s = 2 cells/s, 70 left → 35s
+	clock = clock.Add(30 * time.Second)
+	cb(70, 100) // 60 cells in 40s = 1.5 cells/s, 30 left → 20s
+	clock = clock.Add(20 * time.Second)
+	cb(100, 100)
+
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out.String())
+	}
+	if want := "fig4: 10/100 cells"; lines[0] != want {
+		t.Fatalf("line 1 = %q, want %q", lines[0], want)
+	}
+	if want := "fig4: 30/100 cells (2.0 cells/s, ETA 35s)"; lines[1] != want {
+		t.Fatalf("line 2 = %q, want %q", lines[1], want)
+	}
+	if want := "fig4: 70/100 cells (1.5 cells/s, ETA 20s)"; lines[2] != want {
+		t.Fatalf("line 3 = %q, want %q", lines[2], want)
+	}
+	if want := "fig4: 100/100 cells (1.5 cells/s, done in 1m00s)"; lines[3] != want {
+		t.Fatalf("line 4 = %q, want %q", lines[3], want)
+	}
+}
+
+// TestProgressPrinterResumedSweep pins the checkpoint-resume behavior:
+// the restored-cell burst the runner reports first must not pollute the
+// computed-cell throughput.
+func TestProgressPrinterResumedSweep(t *testing.T) {
+	var out strings.Builder
+	clock := time.Unix(1000, 0)
+	now := func() time.Time { return clock }
+	cb := progressPrinter(&out, "fig4", now)
+
+	cb(198, 210) // restored from store, before any compute
+	clock = clock.Add(4 * time.Second)
+	cb(202, 210) // 4 computed in 4s = 1 cell/s, 8 left → 8s
+
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if want := "fig4: 198/210 cells"; lines[0] != want {
+		t.Fatalf("line 1 = %q, want %q", lines[0], want)
+	}
+	if want := "fig4: 202/210 cells (1.0 cells/s, ETA 8s)"; lines[1] != want {
+		t.Fatalf("line 2 = %q, want %q (restored cells leaked into the rate?)", lines[1], want)
+	}
+}
+
+func TestProgressPrinterZeroElapsed(t *testing.T) {
+	var out strings.Builder
+	now := func() time.Time { return time.Unix(1000, 0) } // frozen clock
+	cb := progressPrinter(&out, "x", now)
+	cb(1, 3)
+	cb(2, 3) // zero elapsed: must not divide by zero or print NaN/Inf
+	lines := out.String()
+	if strings.Contains(lines, "NaN") || strings.Contains(lines, "Inf") {
+		t.Fatalf("degenerate output: %q", lines)
+	}
+	if !strings.Contains(lines, "2/3 cells") {
+		t.Fatalf("missing completion count: %q", lines)
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0s"},
+		{0.2, "1s"}, // rounds up: never "0s" while work remains
+		{42, "42s"},
+		{185, "3m05s"},
+		{7620, "2h07m"},
+	}
+	for _, c := range cases {
+		if got := formatDuration(c.in); got != c.want {
+			t.Errorf("formatDuration(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestProgressPrinterThroughRunner wires the printer into a real Map
+// sweep: every line must parse, and the final line must report
+// completion.
+func TestProgressPrinterThroughRunner(t *testing.T) {
+	var out strings.Builder
+	_, err := Map(16, Options{Workers: 4, Progress: ProgressPrinter(&out, "sweep")}, func(k int) (int, error) {
+		return k, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 16 {
+		t.Fatalf("got %d progress lines, want 16", len(lines))
+	}
+	for i, line := range lines {
+		if !strings.HasPrefix(line, "sweep: ") || !strings.Contains(line, "cells") {
+			t.Fatalf("line %d malformed: %q", i, line)
+		}
+	}
+	if !strings.Contains(lines[15], "16/16 cells") || !strings.Contains(lines[15], "done in") {
+		t.Fatalf("final line %q does not report completion", lines[15])
+	}
+}

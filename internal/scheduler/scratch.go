@@ -35,8 +35,10 @@ type Scratch struct {
 
 	pool []*schedule.Schedule // spare schedules (stack)
 
-	// ext holds per-algorithm extension state keyed by algorithm name;
-	// see Ext.
+	// ext holds per-algorithm extension state keyed by algorithm name
+	// (see Ext). The PISA annealer also parks its per-worker undo log
+	// and reachability buffers here, so every piece of hot-loop mutable
+	// state shares the scratch's one-per-worker ownership rule.
 	ext map[string]any
 }
 
@@ -46,9 +48,11 @@ func NewScratch() *Scratch { return &Scratch{} }
 
 // Prepare (re)builds the precomputed cost tables for inst, reusing the
 // scratch's storage, and remembers inst as the tables' owner. Call it
-// after mutating an instance in place (package core does, once per
-// annealing candidate); ScheduleInto calls it automatically when it sees
-// a different instance pointer.
+// after mutating an instance in place, unless every mutation was
+// mirrored through the tables' incremental Update*/AddDep/RemoveDep
+// methods (the PISA annealer patches instead of rebuilding — see the
+// staleness contract in graph.Tables); ScheduleInto calls it
+// automatically when it sees a different instance pointer.
 func (s *Scratch) Prepare(inst *graph.Instance) {
 	s.tab.Build(inst)
 	s.inst = inst

@@ -8,6 +8,16 @@
 // polynomial-time algorithms used in the paper's experiments are
 // available through Experimental; BruteForce and SMT (exponential time)
 // are registered but excluded, exactly as in the paper.
+//
+// Scratch-aware algorithms (scheduler.ScratchScheduler) read the
+// precomputed graph.Tables through the scratch and must treat them as
+// authoritative for the instance's current state: the PISA annealer
+// mutates instances in place and patches the tables incrementally (the
+// staleness contract in graph/tables.go) rather than rebuilding, so a
+// scheduler must never cache table-derived values across Schedule calls
+// or read the Instance where a table entry exists — the table IS the
+// coherent view. scratch_determinism_test.go pins every algorithm
+// bit-identical to its table-free reference implementation.
 package schedulers
 
 import "saga/internal/scheduler"
