@@ -47,13 +47,21 @@ bench-smoke:
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkScheduleHotPath -benchmem -benchtime 400ms -count 3 .
 
-# bench-pisa is the PISA inner-loop smoke gate: the bit-identity suite
-# (incremental loop == copy-and-rebuild reference), the apply→undo
-# round-trip property, the 0 allocs/op gate for the steady-state
-# accept/reject cycle, and one -benchtime=1x pass over the new
-# benchmarks so they cannot rot. Part of `make verify`.
+# bench-pisa is the PISA inner-loop smoke gate: the bit-identity suites
+# (incremental annealer == copy-and-rebuild reference, incremental GA ==
+# clone-and-rebuild reference), the apply→undo round-trip property, the
+# cache-invalidation properties behind rank memoization (every mutating
+# Tables op bumps Generation; stale cached ranks impossible), the
+# 0 allocs/op gate for the steady-state accept/reject cycle, the
+# enforced ≥1.3x iteration-speedup ratio check
+# (TestPISAIterationMemoizationGate, opted in via PISA_BENCH_GATE=1),
+# and one -benchtime=1x pass over the benchmarks so they cannot rot.
+# Part of `make verify`.
 bench-pisa:
-	$(GO) test -run 'TestRunBitIdenticalToReference|TestPerturbUndoRoundTrip|TestPISASteadyStateZeroAlloc|TestRunTracePreallocated' -count 1 ./internal/core/
+	$(GO) test -run 'TestRunBitIdenticalToReference|TestRunGABitIdenticalToReference|TestPerturbUndoRoundTrip|TestPISASteadyStateZeroAlloc|TestRunTracePreallocated' -count 1 ./internal/core/
+	$(GO) test -run 'TestTablesGenerationBumps|TestTablesTopoIncrementalRepair' -count 1 ./internal/graph/
+	$(GO) test -run 'TestEvalCache' -count 1 ./internal/scheduler/
+	PISA_BENCH_GATE=1 $(GO) test -run 'TestPISAIterationMemoizationGate' -count 1 -v ./internal/core/
 	$(GO) test -run '^$$' -bench 'BenchmarkPISAIteration|BenchmarkPISACandidateGen' -benchmem -benchtime 1x ./internal/core/
 	$(GO) test -run '^$$' -bench 'BenchmarkPISARun' -benchmem -benchtime 1x .
 

@@ -401,13 +401,14 @@ func BenchmarkExactSolver(b *testing.B) {
 
 // BenchmarkPISARun measures one full PISA run end to end — the
 // incremental inner loop (mutate in place, undo log, delta Tables
-// updates) against the retained copy-and-rebuild reference
+// updates, rank memoization across the scheduler pair) against the
+// retained copy-and-rebuild, cache-disabled reference
 // (core.RunReference) on identical options, seeds, and scheduler pair.
 // The two produce byte-identical Results (proven in
 // internal/core/incremental_test.go), so the ratio of their ns/op is
-// the pure speedup of the candidate-generation rewrite. Per-iteration
-// numbers and the allocation gate live in
-// internal/core.BenchmarkPISAIteration; the committed record is
+// the pure speedup of the candidate-generation rewrite plus the shared
+// evaluation cache. Per-iteration numbers and the allocation gate live
+// in internal/core.BenchmarkPISAIteration; the committed record is
 // BENCH_pisa.json (`make bench-pisa` protocol).
 func BenchmarkPISARun(b *testing.B) {
 	variants := []struct {
@@ -527,18 +528,35 @@ func BenchmarkSimulatorElasticContention(b *testing.B) {
 }
 
 // BenchmarkGAAdversarial measures the genetic adversarial finder at a
-// budget comparable to one annealing restart.
+// budget comparable to one annealing restart — the incremental loop
+// (recycled instance banks, in-place crossover, delta-patched tables,
+// memoized ranks) against the retained clone-and-full-Prepare reference
+// (core.RunGAReference). The two produce byte-identical Results
+// (internal/core/genetic_incremental_test.go), so the ns/op ratio is
+// the pure cost of the machinery the rewrite removed.
 func BenchmarkGAAdversarial(b *testing.B) {
-	heft, cpop := mustSched(b, "HEFT"), mustSched(b, "CPoP")
-	for i := 0; i < b.N; i++ {
-		opts := core.DefaultGAOptions()
-		opts.PopulationSize = 10
-		opts.Generations = 20
-		opts.Seed = uint64(i + 1)
-		opts.InitialInstance = experiments.RandomChainInstance
-		if _, err := core.RunGA(heft, cpop, opts); err != nil {
-			b.Fatal(err)
-		}
+	variants := []struct {
+		name string
+		run  func(target, baseline scheduler.Scheduler, opts core.GAOptions) (*core.Result, error)
+	}{
+		{"incremental", core.RunGA},
+		{"reference", core.RunGAReference},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			heft, cpop := mustSched(b, "HEFT"), mustSched(b, "CPoP")
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opts := core.DefaultGAOptions()
+				opts.PopulationSize = 10
+				opts.Generations = 20
+				opts.Seed = uint64(i + 1)
+				opts.InitialInstance = experiments.RandomChainInstance
+				if _, err := v.run(heft, cpop, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

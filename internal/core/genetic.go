@@ -2,6 +2,8 @@ package core
 
 import (
 	"errors"
+	"fmt"
+	"math"
 	"sort"
 
 	"saga/internal/graph"
@@ -35,6 +37,11 @@ type GAOptions struct {
 	// Perturb configures the mutation operators; zero value = Section VI
 	// defaults.
 	Perturb PerturbOptions
+	// Scratch, when non-nil, is the reusable per-worker scheduling state
+	// threaded through every fitness evaluation, exactly like
+	// Options.Scratch in the annealer. Nil allocates a private one per
+	// run; the scratch never affects results.
+	Scratch *scheduler.Scratch
 }
 
 // DefaultGAOptions returns a configuration comparable in evaluation
@@ -51,6 +58,31 @@ func DefaultGAOptions() GAOptions {
 	}
 }
 
+// normalized validates the configuration and applies the historical
+// clamps (TournamentK, Elite); RunGA and RunGAReference share it so
+// both loops reject identical inputs with identical errors.
+func (o GAOptions) normalized() (GAOptions, error) {
+	if o.InitialInstance == nil {
+		return o, errors.New("core: GAOptions.InitialInstance is required")
+	}
+	if o.PopulationSize < 2 || o.Generations <= 0 {
+		return o, errors.New("core: GA needs PopulationSize >= 2 and Generations > 0")
+	}
+	if o.MutationRate < 0 || o.MutationRate > 1 || math.IsNaN(o.MutationRate) {
+		return o, fmt.Errorf("core: MutationRate %v outside [0, 1]", o.MutationRate)
+	}
+	if o.TournamentK <= 0 {
+		o.TournamentK = 3
+	}
+	if o.Elite < 0 || o.Elite >= o.PopulationSize {
+		o.Elite = 1
+	}
+	if err := checkPerturb(o.Perturb); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
 type individual struct {
 	inst  *graph.Instance
 	ratio float64
@@ -59,24 +91,31 @@ type individual struct {
 // RunGA evolves adversarial instances for the target scheduler against
 // the baseline and returns the best found. Crossover between two parent
 // instances swaps weight vectors where the parents are structurally
-// compatible and otherwise clones the fitter parent; mutation applies
+// compatible and otherwise copies the fitter parent; mutation applies
 // one PISA perturbation.
+//
+// The loop runs on the incremental machinery the annealer introduced:
+// two instance banks ping-pong between generations, so every offspring
+// is a CopyFrom into a recycled buffer (crossoverInto) instead of a
+// Clone; mutation is perturbInPlace against the per-worker
+// perturbState in scratch extension state, with the already-built cost
+// tables patched through the graph.Tables delta methods
+// (applyTables) rather than rebuilt; and each candidate's
+// target/baseline evaluation pair shares one rank computation through
+// the scratch's EvalCache. Results are bit-identical to the retained
+// clone-and-full-Prepare implementation (RunGAReference, the analogue
+// of RunReference); genetic_incremental_test.go proves it across
+// perturbation modes and scheduler pairs.
 func RunGA(target, baseline scheduler.Scheduler, opts GAOptions) (*Result, error) {
-	if opts.InitialInstance == nil {
-		return nil, errors.New("core: GAOptions.InitialInstance is required")
-	}
-	if opts.PopulationSize < 2 || opts.Generations <= 0 {
-		return nil, errors.New("core: GA needs PopulationSize >= 2 and Generations > 0")
-	}
-	if opts.TournamentK <= 0 {
-		opts.TournamentK = 3
-	}
-	if opts.Elite < 0 || opts.Elite >= opts.PopulationSize {
-		opts.Elite = 1
+	opts, err := opts.normalized()
+	if err != nil {
+		return nil, err
 	}
 	p := opts.Perturb.withDefaults()
 	r := rng.New(opts.Seed)
-	ev := newEvaluator(target, baseline, nil)
+	ev := newEvaluator(target, baseline, opts.Scratch)
+	ps := ev.scr.Ext(pisaExtKey, func() any { return new(perturbState) }).(*perturbState)
+	ps.ops = append(ps.ops[:0], enabledOps(p)...)
 	res := &Result{}
 
 	pop := make([]individual, opts.PopulationSize)
@@ -106,73 +145,108 @@ func RunGA(target, baseline scheduler.Scheduler, opts GAOptions) (*Result, error
 		return best
 	}
 
+	// Two instance banks ping-pong across generations: the current
+	// population lives in one, elites and offspring are copied/built into
+	// the spare, and after the swap the outgoing generation's buffers
+	// become the next spare bank. Steady state clones nothing.
+	next := make([]individual, opts.PopulationSize)
+	spare := make([]*graph.Instance, opts.PopulationSize)
+
 	for gen := 0; gen < opts.Generations; gen++ {
-		next := make([]individual, 0, opts.PopulationSize)
-		for i := 0; i < opts.Elite; i++ {
-			next = append(next, pop[i])
+		n := 0
+		for ; n < opts.Elite; n++ {
+			spare[n] = copyInto(spare[n], pop[n].inst)
+			next[n] = individual{inst: spare[n], ratio: pop[n].ratio}
 		}
-		for len(next) < opts.PopulationSize {
+		for ; n < opts.PopulationSize; n++ {
 			a, b := tournament(), tournament()
-			child := crossover(a, b, r)
-			if r.Float64() < opts.MutationRate {
-				perturb(child, r, p)
+			spare[n] = crossoverInto(spare[n], a, b, r)
+			child := spare[n]
+			mutate := r.Float64() < opts.MutationRate
+			// Crossover rewrites weights wholesale, so the child needs one
+			// full table build; the mutation on top is a single operator
+			// and rides the delta-patch path, leaving the tables current
+			// for ratioPrepared without a second build.
+			tab := ev.prepare(child)
+			if mutate {
+				perturbInPlace(child, r, p, ps)
+				applyTables(tab, ps)
 			}
-			ratio, err := ev.ratio(child)
+			ratio, err := ev.ratioPrepared(child)
 			if err != nil {
 				return nil, err
 			}
 			res.Evaluations++
-			next = append(next, individual{inst: child, ratio: ratio})
+			next[n] = individual{inst: child, ratio: ratio}
 		}
-		pop = next
+		for i := range pop {
+			spare[i] = pop[i].inst
+		}
+		pop, next = next, pop
 		byFitness()
 	}
 
-	res.Best = pop[0].inst
+	// The winner lives in a recycled bank buffer; clone it out so the
+	// result owns its instance (mirroring Run's handling of Best).
+	res.Best = pop[0].inst.Clone()
 	res.BestRatio = pop[0].ratio
 	res.RestartRatios = []float64{pop[0].ratio}
 	return res, nil
 }
 
-// crossover combines two parent instances. When the parents have the
-// same task count, node count and dependency set, the child takes each
-// task cost, dependency cost, node speed and link strength from a
-// uniformly random parent (uniform crossover on the weight vector).
-// Structurally incompatible parents — possible because mutation can add
-// or remove dependencies — yield a clone of the fitter parent.
-func crossover(a, b individual, r *rng.RNG) *graph.Instance {
+// copyInto deep-copies src into dst's storage, allocating dst only on
+// first use (cold bank slot).
+func copyInto(dst, src *graph.Instance) *graph.Instance {
+	if dst == nil {
+		return src.Clone()
+	}
+	dst.CopyFrom(src)
+	return dst
+}
+
+// crossoverInto is crossover writing into a caller-owned buffer: the
+// identical draw sequence and weight selection, with dst.CopyFrom
+// replacing the Clone. The dependency loop walks the successor lists
+// directly — the same edge order Deps() materializes — so the RNG
+// stream matches the reference bit for bit without allocating the edge
+// slice.
+func crossoverInto(dst *graph.Instance, a, b individual, r *rng.RNG) *graph.Instance {
 	fitter, other := a, b
 	if b.ratio > a.ratio {
 		fitter, other = b, a
 	}
+	dst = copyInto(dst, fitter.inst)
 	if !compatible(fitter.inst, other.inst) {
-		return fitter.inst.Clone()
+		return dst
 	}
-	child := fitter.inst.Clone()
-	for t := range child.Graph.Tasks {
+	og := other.inst.Graph
+	for t := range dst.Graph.Tasks {
 		if r.Float64() < 0.5 {
-			child.Graph.Tasks[t].Cost = other.inst.Graph.Tasks[t].Cost
+			dst.Graph.Tasks[t].Cost = og.Tasks[t].Cost
 		}
 	}
-	for _, d := range child.Graph.Deps() {
-		if r.Float64() < 0.5 {
-			c, _ := other.inst.Graph.DepCost(d[0], d[1])
-			child.Graph.SetDepCost(d[0], d[1], c)
-		}
-	}
-	for v := range child.Net.Speeds {
-		if r.Float64() < 0.5 {
-			child.Net.Speeds[v] = other.inst.Net.Speeds[v]
-		}
-	}
-	for u := 0; u < child.Net.NumNodes(); u++ {
-		for v := u + 1; v < child.Net.NumNodes(); v++ {
+	for u := range dst.Graph.Succ {
+		succ := dst.Graph.Succ[u]
+		for i := range succ {
 			if r.Float64() < 0.5 {
-				child.Net.SetLink(u, v, other.inst.Net.Links[u][v])
+				c, _ := og.DepCost(u, succ[i].To)
+				dst.Graph.SetDepCost(u, succ[i].To, c)
 			}
 		}
 	}
-	return child
+	for v := range dst.Net.Speeds {
+		if r.Float64() < 0.5 {
+			dst.Net.Speeds[v] = other.inst.Net.Speeds[v]
+		}
+	}
+	for u := 0; u < dst.Net.NumNodes(); u++ {
+		for v := u + 1; v < dst.Net.NumNodes(); v++ {
+			if r.Float64() < 0.5 {
+				dst.Net.SetLink(u, v, other.inst.Net.Links[u][v])
+			}
+		}
+	}
+	return dst
 }
 
 // compatible reports whether two instances share a structure (task and

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"os"
+	"testing"
+)
+
+// TestPISAIterationMemoizationGate is the enforced (not merely
+// measured) form of BenchmarkPISAIteration: the incremental inner loop
+// — in-place perturbations, delta table patches, and rank memoization
+// across the scheduler pair — must beat the copy-and-rebuild,
+// cache-disabled reference by at least minIterationSpeedup on the
+// network-heavy scales, and its steady state must stay allocation-free.
+// The measured margin is ~2× (BENCH_pisa.json), so 1.3× tolerates a
+// noisy shared-VM host without letting a real regression through.
+//
+// Timing gates do not belong in plain `go test ./...`; `make
+// bench-pisa` (part of `make verify`) opts in via PISA_BENCH_GATE=1.
+func TestPISAIterationMemoizationGate(t *testing.T) {
+	if os.Getenv("PISA_BENCH_GATE") == "" {
+		t.Skip("timing gate; run via `make bench-pisa` (PISA_BENCH_GATE=1)")
+	}
+	const minIterationSpeedup = 1.3
+	insts := pisaBenchInstances()
+	for _, scale := range []string{"fog48", "cloud"} {
+		inst := insts[scale]
+		inc := testing.Benchmark(func(b *testing.B) { runIncrementalIteration(b, inst) })
+		ref := testing.Benchmark(func(b *testing.B) { runReferenceIteration(b, inst) })
+		if inc.NsPerOp() <= 0 || ref.NsPerOp() <= 0 {
+			t.Fatalf("%s: degenerate measurement (inc=%v, ref=%v)", scale, inc, ref)
+		}
+		ratio := float64(ref.NsPerOp()) / float64(inc.NsPerOp())
+		t.Logf("%s: incremental %d ns/op, reference %d ns/op — %.2fx", scale, inc.NsPerOp(), ref.NsPerOp(), ratio)
+		if ratio < minIterationSpeedup {
+			t.Errorf("%s: incremental iteration only %.2fx faster than the reference; gate is %.1fx",
+				scale, ratio, minIterationSpeedup)
+		}
+		if allocs := inc.AllocsPerOp(); allocs != 0 {
+			t.Errorf("%s: incremental iteration allocates %d/op once warm; want 0", scale, allocs)
+		}
+	}
+}

@@ -172,11 +172,75 @@ func (r *Result) TraceCSV() string {
 	return b.String()
 }
 
-// pisaExtKey is the scheduler.Scratch.Ext key under which Run keeps its
+// pisaExtKey is the scheduler.Scratch.Ext key under which Run (and
+// RunGA, which shares the same perturbation machinery) keeps its
 // per-worker perturbState (undo log, enabled-op set, reachability
 // buffers), following the PR 2 ownership rule: per-worker state lives
 // in the worker's Scratch, never in shared or global storage.
 const pisaExtKey = "core.pisa"
+
+// maxTracePrealloc caps the up-front Result.Trace capacity at 2^20
+// trace points (~56 MB of TracePoints). Preallocating Restarts×MaxIters
+// keeps the hot loop's appends growth-free for every sane budget, but
+// the product is caller-controlled: absurd flag values must not turn
+// into a multi-gigabyte allocation (or an int overflow) before the
+// first iteration runs. Beyond the cap, append grows the slice the
+// ordinary way — correct, just not allocation-free.
+const maxTracePrealloc = 1 << 20
+
+// tracePrealloc returns the overflow-safe Trace capacity for a budget;
+// both arguments must already be validated positive.
+func tracePrealloc(restarts, maxIters int) int {
+	if restarts > maxTracePrealloc/maxIters {
+		return maxTracePrealloc
+	}
+	return restarts * maxIters
+}
+
+// checkOptions validates an annealing configuration; Run and
+// RunReference share it so the two loops reject identical inputs with
+// identical errors.
+func checkOptions(opts Options) error {
+	if opts.InitialInstance == nil {
+		return errors.New("core: Options.InitialInstance is required")
+	}
+	if opts.MaxIters <= 0 || opts.Restarts <= 0 {
+		return errors.New("core: MaxIters and Restarts must be positive")
+	}
+	if !(opts.Alpha > 0 && opts.Alpha < 1) || !(opts.TMax > opts.TMin) || opts.TMin <= 0 ||
+		math.IsInf(opts.TMax, 0) {
+		return fmt.Errorf("core: invalid cooling schedule (TMax=%v, TMin=%v, Alpha=%v)",
+			opts.TMax, opts.TMin, opts.Alpha)
+	}
+	return checkPerturb(opts.Perturb)
+}
+
+// checkPerturb validates perturbation bounds (shared with the GA):
+// non-finite or negative steps, inverted weight ranges, and NaN floors
+// previously produced silently degenerate searches — weights stuck at a
+// clamp boundary, or NaN ratios poisoning every comparison.
+func checkPerturb(p PerturbOptions) error {
+	if p.Step < 0 || math.IsNaN(p.Step) || math.IsInf(p.Step, 0) {
+		return fmt.Errorf("core: invalid perturbation step %v", p.Step)
+	}
+	ranges := [...]struct {
+		name string
+		r    [2]float64
+	}{
+		{"TaskCost", p.TaskCost}, {"DepCost", p.DepCost},
+		{"Speed", p.Speed}, {"Link", p.Link},
+	}
+	for _, x := range ranges {
+		if math.IsNaN(x.r[0]) || math.IsNaN(x.r[1]) ||
+			math.IsInf(x.r[0], 0) || math.IsInf(x.r[1], 0) || x.r[0] > x.r[1] {
+			return fmt.Errorf("core: invalid %s range [%v, %v]", x.name, x.r[0], x.r[1])
+		}
+	}
+	if p.MinNetWeight < 0 || math.IsNaN(p.MinNetWeight) || math.IsInf(p.MinNetWeight, 0) {
+		return fmt.Errorf("core: invalid MinNetWeight %v", p.MinNetWeight)
+	}
+	return nil
+}
 
 // Run executes PISA for target scheduler A against baseline B. The
 // result's Best instance maximizes m(S_A)/m(S_B) over the search.
@@ -191,15 +255,8 @@ const pisaExtKey = "core.pisa"
 // modes and scheduler pairs. Once warm, the steady-state accept/reject
 // cycle performs zero heap allocations.
 func Run(target, baseline scheduler.Scheduler, opts Options) (*Result, error) {
-	if opts.InitialInstance == nil {
-		return nil, errors.New("core: Options.InitialInstance is required")
-	}
-	if opts.MaxIters <= 0 || opts.Restarts <= 0 {
-		return nil, errors.New("core: MaxIters and Restarts must be positive")
-	}
-	if !(opts.Alpha > 0 && opts.Alpha < 1) || !(opts.TMax > opts.TMin) || opts.TMin <= 0 {
-		return nil, fmt.Errorf("core: invalid cooling schedule (TMax=%v, TMin=%v, Alpha=%v)",
-			opts.TMax, opts.TMin, opts.Alpha)
+	if err := checkOptions(opts); err != nil {
+		return nil, err
 	}
 	p := opts.Perturb.withDefaults()
 	root := rng.New(opts.Seed)
@@ -212,9 +269,10 @@ func Run(target, baseline scheduler.Scheduler, opts Options) (*Result, error) {
 		RestartRatios: make([]float64, 0, opts.Restarts),
 	}
 	if opts.RecordTrace {
-		// The full capacity up front: the hot loop's appends must never
-		// trigger growth (each copies the whole trace so far).
-		res.Trace = make([]TracePoint, 0, opts.Restarts*opts.MaxIters)
+		// The full capacity up front (capped — see maxTracePrealloc): for
+		// every sane budget the hot loop's appends never trigger growth
+		// (each would copy the whole trace so far).
+		res.Trace = make([]TracePoint, 0, tracePrealloc(opts.Restarts, opts.MaxIters))
 	}
 	// One incumbent-best buffer serves every annealing chain; only the
 	// returned Result.Best is ever cloned out of it. There is no
@@ -285,10 +343,14 @@ func Run(target, baseline scheduler.Scheduler, opts Options) (*Result, error) {
 
 // evaluator computes makespan ratios through the allocation-free
 // scheduling path: one scratch and one schedule pair reused for every
-// candidate. Two calling modes differ only in who keeps the scratch
-// tables honest: ratio rebuilds them per call (safe for arbitrary
-// instances — the GA path), while ratioPrepared trusts the annealer to
-// have patched them incrementally after each in-place mutation.
+// candidate, with the scratch's EvalCache letting the baseline
+// scheduler reuse the target's rank computation on each candidate's
+// identical tables. Two calling modes differ only in who keeps the
+// scratch tables honest: ratio rebuilds them per call (safe for
+// arbitrary instances — initial populations, one-shot evaluations),
+// while ratioPrepared trusts the caller to have patched them
+// incrementally after each in-place mutation (the annealer's inner
+// loop, the GA's mutated offspring).
 type evaluator struct {
 	target, baseline scheduler.Scheduler
 	scr              *scheduler.Scratch

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -158,19 +159,57 @@ func TestRunOnImproveMonotonic(t *testing.T) {
 
 func TestRunRejectsBadOptions(t *testing.T) {
 	good := testOptions(1)
+	nan := math.NaN()
 	cases := []func(*Options){
 		func(o *Options) { o.InitialInstance = nil },
 		func(o *Options) { o.MaxIters = 0 },
 		func(o *Options) { o.Restarts = 0 },
 		func(o *Options) { o.Alpha = 1.5 },
+		func(o *Options) { o.Alpha = nan },
 		func(o *Options) { o.TMin = -1 },
-		func(o *Options) { o.TMax = 0.05 }, // below TMin
+		func(o *Options) { o.TMax = 0.05 },                       // below TMin
+		func(o *Options) { o.TMax = math.Inf(1) },                // never cools
+		func(o *Options) { o.Perturb.Step = -0.1 },               // inverted step
+		func(o *Options) { o.Perturb.Step = nan },                //
+		func(o *Options) { o.Perturb.Link = [2]float64{1, 0.2} }, // inverted range
+		func(o *Options) { o.Perturb.TaskCost = [2]float64{nan, 1} },
+		func(o *Options) { o.Perturb.DepCost = [2]float64{0, math.Inf(1)} }, // infinite bound
+		func(o *Options) { o.Perturb.MinNetWeight = -5 },
+		func(o *Options) { o.Perturb.MinNetWeight = math.Inf(1) },
 	}
 	for i, mutate := range cases {
 		o := good
 		mutate(&o)
-		if _, err := Run(mustSched(t, "HEFT"), mustSched(t, "CPoP"), o); err == nil {
-			t.Errorf("case %d: invalid options accepted", i)
+		_, errRun := Run(mustSched(t, "HEFT"), mustSched(t, "CPoP"), o)
+		_, errRef := RunReference(mustSched(t, "HEFT"), mustSched(t, "CPoP"), o)
+		if errRun == nil || errRef == nil {
+			t.Errorf("case %d: invalid options accepted (run=%v, ref=%v)", i, errRun, errRef)
+			continue
+		}
+		if errRun.Error() != errRef.Error() {
+			t.Errorf("case %d: Run and RunReference reject differently:\n%v\n%v", i, errRun, errRef)
+		}
+	}
+}
+
+// TestTracePreallocCapped pins the satellite fix for pathological
+// budgets: the up-front trace capacity is overflow-safe and bounded by
+// maxTracePrealloc, while sane budgets still get their exact product
+// (TestRunTracePreallocated asserts the hot loop relies on that).
+func TestTracePreallocCapped(t *testing.T) {
+	cases := []struct {
+		restarts, maxIters, want int
+	}{
+		{2, 120, 240},
+		{5, 1000, 5000},
+		{1, maxTracePrealloc, maxTracePrealloc},
+		{2, maxTracePrealloc, maxTracePrealloc},              // over the cap
+		{1 << 31, 1 << 31, maxTracePrealloc},                 // product overflows on 32-bit int
+		{math.MaxInt / 2, math.MaxInt / 2, maxTracePrealloc}, // product overflows everywhere
+	}
+	for _, c := range cases {
+		if got := tracePrealloc(c.restarts, c.maxIters); got != c.want {
+			t.Errorf("tracePrealloc(%d, %d) = %d, want %d", c.restarts, c.maxIters, got, c.want)
 		}
 	}
 }

@@ -2,6 +2,8 @@ package graph
 
 import (
 	"testing"
+
+	"saga/internal/rng"
 )
 
 // incInstance builds a small heterogeneous instance exercising every
@@ -192,6 +194,134 @@ func TestReachScratchMatchesReaches(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("warm ReachScratch.Reaches allocates %.1f/op", allocs)
+	}
+}
+
+// TestTablesGenerationBumps pins the cache-invalidation contract behind
+// scheduler.EvalCache: Build and every mutating maintenance method must
+// strictly increase Generation, so anything memoized against an older
+// stamp can never be served for newer table state. Lazy materialization
+// (EnsureAvgComm) and read-only accessors must leave it alone.
+func TestTablesGenerationBumps(t *testing.T) {
+	inst := incInstance()
+	var tb Tables
+	last := tb.Generation
+	expectBump := func(name string, mutate func()) {
+		t.Helper()
+		mutate()
+		if tb.Generation <= last {
+			t.Fatalf("%s did not bump Generation (%d -> %d)", name, last, tb.Generation)
+		}
+		last = tb.Generation
+	}
+	expectNoBump := func(name string, op func()) {
+		t.Helper()
+		op()
+		if tb.Generation != last {
+			t.Fatalf("%s changed Generation (%d -> %d); it mutates no logical state", name, last, tb.Generation)
+		}
+	}
+
+	expectBump("Build", func() { tb.Build(inst) })
+	expectNoBump("EnsureAvgComm", tb.EnsureAvgComm)
+	expectNoBump("AvgCommSucc", func() { tb.AvgCommSucc(0, 0) })
+	expectBump("UpdateNodeSpeed", func() {
+		inst.Net.Speeds[1] = 2.25
+		tb.UpdateNodeSpeed(1)
+	})
+	expectBump("UpdateLinkSpeed", func() {
+		inst.Net.SetLink(0, 3, 0.75)
+		tb.UpdateLinkSpeed(0, 3)
+	})
+	expectBump("UpdateLinkSpeed(diagonal)", func() { tb.UpdateLinkSpeed(2, 2) })
+	expectBump("UpdateTaskWeight", func() {
+		inst.Graph.Tasks[2].Cost = 4.5
+		tb.UpdateTaskWeight(2)
+	})
+	expectBump("UpdateDepWeight(unbuilt avgComm)", func() {
+		// The link update above invalidated the average table, so this
+		// exercises the early-return path — the instance still changed.
+		inst.Graph.SetDepCost(0, 1, 1.75)
+		tb.UpdateDepWeight(0, 1)
+	})
+	tb.EnsureAvgComm()
+	last = tb.Generation
+	expectBump("UpdateDepWeight(built avgComm)", func() {
+		inst.Graph.SetDepCost(0, 1, 1.25)
+		tb.UpdateDepWeight(0, 1)
+	})
+	a, ok := tb.AvgCommOf(0, 1)
+	if !ok {
+		t.Fatal("AvgCommOf on a built table reported unbuilt")
+	}
+	expectBump("SetAvgComm", func() { tb.SetAvgComm(0, 1, a) })
+	snap, ok := tb.SnapshotAvgComm(nil)
+	if !ok {
+		t.Fatal("SnapshotAvgComm on a built table reported unbuilt")
+	}
+	expectNoBump("SnapshotAvgComm", func() { tb.SnapshotAvgComm(snap) })
+	expectBump("RestoreAvgComm", func() { tb.RestoreAvgComm(snap) })
+	expectBump("AddDep", func() {
+		inst.Graph.AddDepUnchecked(1, 4, 0.5)
+		tb.AddDep(1, 4)
+	})
+	expectBump("RemoveDep", func() {
+		inst.Graph.RemoveDep(1, 4)
+		tb.RemoveDep(1, 4)
+	})
+	expectBump("Build(rebuild)", func() { tb.Build(inst) })
+}
+
+// TestTablesTopoIncrementalRepair drives the structural patches through
+// long randomized add/remove walks on random DAGs and checks, after
+// every single edge change, that the incrementally repaired order is
+// bit-identical to a fresh Kahn run — both on the cheap keep paths
+// (order provably unchanged) and across the re-run fallback.
+func TestTablesTopoIncrementalRepair(t *testing.T) {
+	r := rng.New(0x70b0)
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + r.Intn(12)
+		g := NewTaskGraph()
+		for i := 0; i < n; i++ {
+			g.AddTask("t", 1)
+		}
+		// Seed with a random acyclic edge set.
+		for i := 0; i < 2*n; i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v && !g.HasDep(u, v) && !g.Reaches(v, u) {
+				g.MustAddDep(u, v, 1)
+			}
+		}
+		net := NewNetwork(3)
+		inst := NewInstance(g, net)
+		var tb Tables
+		tb.Build(inst)
+
+		for step := 0; step < 200; step++ {
+			if r.Float64() < 0.5 && g.NumDeps() > 0 {
+				u, v := g.DepAt(r.Intn(g.NumDeps()))
+				g.RemoveDep(u, v)
+				tb.RemoveDep(u, v)
+			} else {
+				u, v := r.Intn(n), r.Intn(n)
+				if u == v || g.HasDep(u, v) || g.Reaches(v, u) {
+					continue
+				}
+				g.AddDepUnchecked(u, v, 1)
+				tb.AddDep(u, v)
+			}
+			var fresh Tables
+			fresh.Build(inst)
+			if len(tb.Topo) != len(fresh.Topo) {
+				t.Fatalf("trial %d step %d: Topo length %d vs %d", trial, step, len(tb.Topo), len(fresh.Topo))
+			}
+			for i := range tb.Topo {
+				if tb.Topo[i] != fresh.Topo[i] {
+					t.Fatalf("trial %d step %d: Topo[%d] = %d, want %d (incremental repair drifted from canonical Kahn)",
+						trial, step, i, tb.Topo[i], fresh.Topo[i])
+				}
+			}
+		}
 	}
 }
 

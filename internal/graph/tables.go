@@ -27,6 +27,20 @@ type Tables struct {
 	// NTasks and NNodes record the shape the tables were built for.
 	NTasks, NNodes int
 
+	// Generation is the monotonically increasing stamp of the tables'
+	// logical state: Build and every mutating maintenance method
+	// (Update*/AddDep/RemoveDep/SetAvgComm/RestoreAvgComm) increment it,
+	// and it is never reset — not even when Build points the tables at a
+	// different instance. Anything derived from the tables (the rank
+	// vectors scheduler.EvalCache memoizes) is therefore safe to reuse
+	// exactly when (instance pointer, Generation) both match the values
+	// recorded at computation time: a stale read would require a mutation
+	// that did not bump the stamp, which the staleness contract forbids
+	// and TestTablesGenerationBumps pins down. Lazy fills (EnsureAvgComm)
+	// do not bump it — they change no logical state, only materialize
+	// values the current generation already determines.
+	Generation uint64
+
 	// InvSpeed[v] is 1/s(v).
 	InvSpeed []float64
 	// LinkFlat is the dense row-major |V|×|V| link-strength matrix:
@@ -62,6 +76,12 @@ type Tables struct {
 	predOff      []int
 	avgCommBuilt bool
 	src          *Instance // instance of the last Build, for EnsureAvgComm
+
+	// topoPos is the inverse permutation of Topo (topoPos[Topo[i]] == i),
+	// maintained so the structural patches can decide in O(1) (AddDep) or
+	// O(affected window) (RemoveDep) whether the cached canonical order
+	// survives an edge change without re-running Kahn.
+	topoPos []int
 
 	indeg    []int // Kahn scratch
 	frontier []int
@@ -148,6 +168,7 @@ func (tb *Tables) Build(inst *Instance) {
 	g, net := inst.Graph, inst.Net
 	nT, nV := g.NumTasks(), net.NumNodes()
 	tb.NTasks, tb.NNodes = nT, nV
+	tb.Generation++
 
 	tb.InvSpeed = growF64(tb.InvSpeed, nV)
 	for v, s := range net.Speeds {
@@ -239,6 +260,12 @@ func predIndex(g *TaskGraph, v, u int) int {
 // rewrites, pointing at a different instance — still requires a full
 // Build (scheduler.Scratch.Prepare). The methods panic or corrupt
 // silently if called on a Tables that was never built.
+//
+// Every method below bumps Generation unconditionally at entry — even
+// the ones whose early-return paths touch no table storage (a
+// dep-weight patch against an unbuilt average table, a diagonal link) —
+// because the *instance* mutation that triggered the call has already
+// invalidated anything memoized against the previous generation.
 
 // UpdateNodeSpeed patches the tables after Net.Speeds[v] changed in
 // place: the inverse speed, node v's column of the dense exec-time
@@ -247,6 +274,7 @@ func predIndex(g *TaskGraph, v, u int) int {
 // Link and communication tables are untouched — speeds never enter
 // them. O(|T|·|V|).
 func (tb *Tables) UpdateNodeSpeed(v int) {
+	tb.Generation++
 	g, net := tb.src.Graph, tb.src.Net
 	nV := tb.NNodes
 	tb.InvSpeed[v] = 1 / net.Speeds[v]
@@ -267,6 +295,7 @@ func (tb *Tables) UpdateNodeSpeed(v int) {
 // change touches all of it; the next EnsureAvgComm rebuilds it lazily
 // (reusing storage) only if a scheduler actually reads it. O(1).
 func (tb *Tables) UpdateLinkSpeed(u, v int) {
+	tb.Generation++
 	if u == v {
 		return
 	}
@@ -289,6 +318,7 @@ func (tb *Tables) UpdateLinkSpeed(u, v int) {
 // recomputed with Build's exact division-and-sum order. Communication
 // tables are untouched — task costs never enter them. O(|V|).
 func (tb *Tables) UpdateTaskWeight(t int) {
+	tb.Generation++
 	g, net := tb.src.Graph, tb.src.Net
 	nV := tb.NNodes
 	cost := g.Tasks[t].Cost
@@ -308,6 +338,7 @@ func (tb *Tables) UpdateTaskWeight(t int) {
 // live instance. O(|V|²) for the one edge's pair loop, versus the full
 // table's O(|D|·|V|²).
 func (tb *Tables) UpdateDepWeight(u, v int) {
+	tb.Generation++
 	if !tb.avgCommBuilt {
 		return
 	}
@@ -336,6 +367,7 @@ func (tb *Tables) AvgCommOf(u, v int) (float64, bool) {
 // patch. The value must be one AvgCommOf returned for the identical
 // link state; anything else desynchronizes the table.
 func (tb *Tables) SetAvgComm(u, v int, a float64) {
+	tb.Generation++
 	if !tb.avgCommBuilt {
 		return
 	}
@@ -362,24 +394,68 @@ func (tb *Tables) SnapshotAvgComm(dst []float64) ([]float64, bool) {
 // back in the exact state the snapshot was taken under (the offsets are
 // not saved, so no structural change may intervene).
 func (tb *Tables) RestoreAvgComm(snap []float64) {
+	tb.Generation++
 	tb.avgComm = append(tb.avgComm[:0], snap...)
 	tb.avgCommBuilt = true
 }
 
 // AddDep patches the tables after dependency (u, v) was added to the
-// source graph: the cached topological order is recomputed (buffers
-// reused, no allocation) and the per-edge average table invalidated —
-// its offsets are aligned with the adjacency lists that just shifted.
-// Weight tables are untouched; edges never enter them.
-func (tb *Tables) AddDep(u, v int) { tb.structureChanged() }
+// source graph: the per-edge average table is invalidated (its offsets
+// are aligned with the adjacency lists that just shifted) and the
+// cached topological order incrementally repaired. Weight tables are
+// untouched; edges never enter them.
+//
+// The repair exploits that Topo is the lexicographically smallest
+// topological order (Kahn, lowest index first): adding a constraint the
+// current order already satisfies — u placed before v — shrinks the
+// feasible set without excluding the incumbent, and the minimum of a
+// subset containing the old minimum is the old minimum. So when
+// topoPos[u] < topoPos[v] the order is provably unchanged and the patch
+// is O(1); only an order-violating edge re-runs Kahn (with reused
+// buffers). Note the keep path also certifies acyclicity for free: a
+// path v→u would force v before u in every topological order.
+func (tb *Tables) AddDep(u, v int) {
+	tb.Generation++
+	tb.avgCommBuilt = false
+	if tb.TopoErr == nil && tb.topoPos[u] < tb.topoPos[v] {
+		return
+	}
+	tb.buildTopo(tb.src.Graph)
+}
 
 // RemoveDep patches the tables after dependency (u, v) was removed from
-// the source graph; see AddDep.
-func (tb *Tables) RemoveDep(u, v int) { tb.structureChanged() }
-
-func (tb *Tables) structureChanged() {
+// the source graph: the per-edge average table is invalidated and the
+// cached topological order incrementally repaired.
+//
+// Removing (u, v) only relaxes when v may be scheduled, so a greedy
+// Kahn replay diverges from the cached order at most where v newly
+// joins the frontier: from the step after v's last remaining
+// predecessor was popped up to v's old position. If every task the old
+// order popped in that window has a smaller index than v, the greedy
+// choice never changes and the order stands (the usual annealer case —
+// O(window) with no Kahn re-run); the first larger index means v would
+// now win that pick, so Kahn re-runs.
+func (tb *Tables) RemoveDep(u, v int) {
+	tb.Generation++
 	tb.avgCommBuilt = false
-	tb.buildTopo(tb.src.Graph)
+	if tb.TopoErr != nil {
+		// The removal may have broken the cycle; recompute from scratch.
+		tb.buildTopo(tb.src.Graph)
+		return
+	}
+	g := tb.src.Graph
+	ready := 0
+	for _, d := range g.Pred[v] {
+		if p := tb.topoPos[d.To] + 1; p > ready {
+			ready = p
+		}
+	}
+	for i := ready; i < tb.topoPos[v]; i++ {
+		if v < tb.Topo[i] {
+			tb.buildTopo(g)
+			return
+		}
+	}
 }
 
 // avgCommTimeFlat is avgCommTime against the flattened link tables:
@@ -466,5 +542,10 @@ func (tb *Tables) buildTopo(g *TaskGraph) {
 	}
 	if len(tb.Topo) != n {
 		tb.TopoErr = cycleError(len(tb.Topo), n)
+		return
+	}
+	tb.topoPos = growInt(tb.topoPos, n)
+	for i, t := range tb.Topo {
+		tb.topoPos[t] = i
 	}
 }

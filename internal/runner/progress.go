@@ -3,6 +3,7 @@ package runner
 import (
 	"fmt"
 	"io"
+	"math"
 	"time"
 )
 
@@ -25,31 +26,59 @@ func ProgressPrinter(w io.Writer, label string) func(done, total int) {
 
 // progressPrinter is ProgressPrinter with an injectable clock for
 // tests.
+//
+// A rate exists only once this process has both computed at least one
+// cell past the baseline and let measurable wall clock pass
+// (minRateElapsed); until then the line carries "ETA --:--" instead of
+// the NaN, +Inf, or astronomically scaled figures that a zero-cell or
+// zero-elapsed division would print (cells routinely land within the
+// clock's resolution, and a resumed sweep's first computed cell can
+// tick before the clock does).
 func progressPrinter(w io.Writer, label string, now func() time.Time) func(done, total int) {
-	base := 0
+	const minRateElapsed = 1e-6 // seconds; below this the clock hasn't meaningfully ticked
+	base, baseTotal, lastDone := 0, 0, 0
 	var baseT time.Time
 	baseSet := false
 	return func(done, total int) {
+		// Re-baseline when the sweep evidently changed under the same
+		// callback: done is strictly increasing within one sweep, so a
+		// regression — or a different total — means a new phase started
+		// (AppSpecificRun drives its benchmark and PISA sweeps through one
+		// Options, and consecutive phases can even share a total), and
+		// folding the previous phase's cells or elapsed time into the
+		// rate would corrupt every line of the new one.
+		if baseSet && (done < lastDone || total != baseTotal) {
+			baseSet = false
+		}
+		lastDone = done
 		if !baseSet {
-			base, baseT, baseSet = done, now(), true
+			base, baseTotal, baseT, baseSet = done, total, now(), true
 			fmt.Fprintf(w, "%s: %d/%d cells\n", label, done, total)
 			return
 		}
 		elapsed := now().Sub(baseT).Seconds()
-		if elapsed <= 0 {
-			elapsed = 1e-9 // cells can land within the clock's resolution
-		}
-		rate := float64(done-base) / elapsed
+		computed := done - base
+		haveRate := computed > 0 && elapsed >= minRateElapsed
 		if done >= total {
+			if !haveRate {
+				fmt.Fprintf(w, "%s: %d/%d cells (done in %s)\n",
+					label, done, total, formatDuration(math.Max(elapsed, 0)))
+				return
+			}
 			fmt.Fprintf(w, "%s: %d/%d cells (%.1f cells/s, done in %s)\n",
-				label, done, total, rate, formatDuration(elapsed))
+				label, done, total, float64(computed)/elapsed, formatDuration(elapsed))
 			return
 		}
-		if rate <= 0 {
-			fmt.Fprintf(w, "%s: %d/%d cells\n", label, done, total)
+		if !haveRate {
+			fmt.Fprintf(w, "%s: %d/%d cells (ETA --:--)\n", label, done, total)
 			return
 		}
+		rate := float64(computed) / elapsed
 		eta := float64(total-done) / rate
+		if math.IsNaN(eta) || math.IsInf(eta, 0) {
+			fmt.Fprintf(w, "%s: %d/%d cells (ETA --:--)\n", label, done, total)
+			return
+		}
 		fmt.Fprintf(w, "%s: %d/%d cells (%.1f cells/s, ETA %s)\n",
 			label, done, total, rate, formatDuration(eta))
 	}

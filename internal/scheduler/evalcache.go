@@ -1,0 +1,85 @@
+package scheduler
+
+import "saga/internal/graph"
+
+// EvalCache memoizes the shared priority vectors — upward rank, downward
+// rank, static level — across the Schedule calls one Scratch serves,
+// keyed on (instance pointer, graph.Tables.Generation). The second
+// scheduler of a PISA target/baseline pair evaluates the identical
+// tables the first just ranked (nothing mutates between the two calls
+// of one candidate evaluation), so its rank reads become O(1) reuses of
+// the first scheduler's computation instead of recomputations.
+//
+// Safety is by construction, not by discipline: Tables.Generation is
+// bumped by Build and by every incremental maintenance method, and the
+// cache serves a stored vector only when both the instance pointer and
+// the generation match the values recorded when it was computed. A
+// stale read would therefore require a table mutation that skipped its
+// Generation bump — a violation of the graph.Tables staleness contract
+// that internal/graph's TestTablesGenerationBumps pins down. Because
+// the memoized vectors are bit-for-bit the ones recomputation would
+// produce, caching never changes results (Scratch invariant 3); the
+// PISA bit-identity suite proves it by running the memoized loop
+// against the cache-disabled reference (core.RunReference).
+//
+// An EvalCache lives inside a Scratch and follows its one-per-worker
+// ownership rule. Hits and Misses count lookups for gates and tests;
+// like all scratch state they influence allocation and speed only,
+// never results.
+type EvalCache struct {
+	inst *graph.Instance
+	gen  uint64
+
+	upOK, downOK, levelOK bool
+	disabled              bool
+
+	// Hits and Misses count rank lookups served from / filled into the
+	// cache since the scratch was created (disabled lookups count as
+	// misses — they recompute).
+	Hits, Misses uint64
+}
+
+// sync rebinds the cache to (inst, gen), dropping every memo when
+// either differs from the stored key.
+func (c *EvalCache) sync(inst *graph.Instance, gen uint64) {
+	if c.inst != inst || c.gen != gen {
+		c.inst, c.gen = inst, gen
+		c.upOK, c.downOK, c.levelOK = false, false, false
+	}
+}
+
+// lookup reports whether the vector guarded by ok can be reused for
+// (inst, gen), marking it computed otherwise. The caller computes and
+// stores the vector exactly when lookup returns false.
+func (c *EvalCache) lookup(inst *graph.Instance, gen uint64, ok *bool) bool {
+	c.sync(inst, gen)
+	if c.disabled {
+		c.Misses++
+		return false
+	}
+	if *ok {
+		c.Hits++
+		return true
+	}
+	*ok = true
+	c.Misses++
+	return false
+}
+
+// EvalCache exposes the scratch's memoization state — primarily its
+// hit/miss counters — for tests and the bench gates.
+func (s *Scratch) EvalCache() *EvalCache { return &s.cache }
+
+// SetEvalCache enables or disables rank memoization on the scratch and
+// returns the previous setting. Memoization is on by default and never
+// affects results; the reference implementations (core.RunReference,
+// core.RunGAReference) disable it so they stay faithful uncached
+// baselines — which also makes the bit-identity suites a genuine proof
+// that the memoized path changes nothing. Disabling only bypasses
+// reuse: generation tracking keeps running, so re-enabling is always
+// safe.
+func (s *Scratch) SetEvalCache(enabled bool) bool {
+	prev := !s.cache.disabled
+	s.cache.disabled = !enabled
+	return prev
+}

@@ -5,11 +5,14 @@
 //
 // It also owns Scratch, the per-worker bundle of reusable hot-path
 // buffers (precomputed graph.Tables, the schedule.Builder arena,
-// rank/order/ready-set slices, per-algorithm extension state). The two
+// rank/order/ready-set slices, per-algorithm extension state) and its
+// EvalCache, which memoizes the rank vectors per (instance, table
+// generation) so consecutive schedulers evaluating identical tables —
+// a PISA target/baseline pair — share one rank computation. The two
 // Scratch invariants: one per goroutine, never shared — runner.MapState
 // hands each worker its own — and scratch state must never influence
 // results, only who allocates; sweeps stay bit-identical with or
-// without one.
+// without one (and with the cache on or off).
 package scheduler
 
 import (

@@ -25,6 +25,12 @@ type Scratch struct {
 	inst *graph.Instance // instance the tables are currently built for
 	tab  graph.Tables
 
+	// cache memoizes the rank vectors across the Schedule calls this
+	// scratch serves, keyed on (instance pointer, tab.Generation) — see
+	// EvalCache. The second scheduler of a target/baseline pair reuses
+	// the first's ranks instead of recomputing them on identical tables.
+	cache EvalCache
+
 	builder schedule.Builder
 	rs      ReadySet
 
@@ -89,21 +95,37 @@ func (s *Scratch) ReadySet(g *graph.TaskGraph) *ReadySet {
 }
 
 // UpwardRank is the scratch-buffered UpwardRank: same values, reused
-// storage. The slice is valid until the next UpwardRank call on s.
+// storage, memoized per (instance, table generation) — when the tables
+// are unchanged since the last computation (the second scheduler of a
+// PISA pair, ensemble members sharing a priority) the stored vector is
+// returned without recomputation. The slice is valid until the next
+// UpwardRank call on s; callers must not mutate it (every scheduler
+// treats ranks as read-only priorities).
 func (s *Scratch) UpwardRank(inst *graph.Instance) []float64 {
-	s.rankUp = UpwardRankInto(inst, s.Tables(inst), s.rankUp)
+	tab := s.Tables(inst)
+	if !s.cache.lookup(inst, tab.Generation, &s.cache.upOK) {
+		s.rankUp = UpwardRankInto(inst, tab, s.rankUp)
+	}
 	return s.rankUp
 }
 
-// DownwardRank is the scratch-buffered DownwardRank.
+// DownwardRank is the scratch-buffered DownwardRank, memoized like
+// UpwardRank.
 func (s *Scratch) DownwardRank(inst *graph.Instance) []float64 {
-	s.rankDown = DownwardRankInto(inst, s.Tables(inst), s.rankDown)
+	tab := s.Tables(inst)
+	if !s.cache.lookup(inst, tab.Generation, &s.cache.downOK) {
+		s.rankDown = DownwardRankInto(inst, tab, s.rankDown)
+	}
 	return s.rankDown
 }
 
-// StaticLevel is the scratch-buffered StaticLevel.
+// StaticLevel is the scratch-buffered StaticLevel, memoized like
+// UpwardRank.
 func (s *Scratch) StaticLevel(inst *graph.Instance) []float64 {
-	s.level = StaticLevelInto(inst, s.Tables(inst), s.level)
+	tab := s.Tables(inst)
+	if !s.cache.lookup(inst, tab.Generation, &s.cache.levelOK) {
+		s.level = StaticLevelInto(inst, tab, s.level)
+	}
 	return s.level
 }
 

@@ -18,6 +18,16 @@
 // or read the Instance where a table entry exists — the table IS the
 // coherent view. scratch_determinism_test.go pins every algorithm
 // bit-identical to its table-free reference implementation.
+//
+// Cross-call memoization is the scratch's job, not the scheduler's: the
+// rank accessors (Scratch.UpwardRank/DownwardRank/StaticLevel) are
+// memoized per (instance, Tables.Generation), so the baseline scheduler
+// of a PISA pair reuses the target's rank computation for free. A new
+// scheduler that derives its own priority vector from the tables and
+// wants the same reuse must key it on Tables.Generation the same way —
+// never on the instance pointer alone, and never by assuming "the
+// instance looks unchanged" (in-place perturbation makes that
+// undetectable; the generation stamp is the only reliable signal).
 package schedulers
 
 import "saga/internal/scheduler"

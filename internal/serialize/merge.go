@@ -64,14 +64,20 @@ func MergeCheckpoints(outPath, fingerprint string, total int, shardPaths []strin
 		return 0, fmt.Errorf("serialize: merge: shard stores hold no cells")
 	}
 	if total > 0 && len(merged) < total {
-		var missing []int
-		for k := 0; k < total; k++ {
+		// Collect only the indices that will be printed: a near-empty
+		// shard of a 100k-cell sweep is missing almost everything, and
+		// materializing (or rendering) the full index list would turn the
+		// diagnostic into a megabyte error string.
+		const maxMissingListed = 20
+		missing := make([]int, 0, maxMissingListed)
+		for k := 0; k < total && len(missing) < maxMissingListed; k++ {
 			if _, ok := merged[k]; !ok {
 				missing = append(missing, k)
 			}
 		}
+		count := total - len(merged)
 		return 0, fmt.Errorf("serialize: merge: %d of %d cells missing (indices %s) — re-run the shards owning them",
-			len(missing), total, formatIndices(missing, 20))
+			count, total, formatIndices(missing, count))
 	}
 
 	out := NewCheckpoint(outPath)
@@ -93,18 +99,20 @@ func MergeCheckpoints(outPath, fingerprint string, total int, shardPaths []strin
 	return len(merged), nil
 }
 
-// formatIndices renders up to max indices, eliding the rest.
-func formatIndices(ks []int, max int) string {
+// formatIndices renders the listed indices, noting how many of the
+// total are elided. The caller bounds ks itself (first N + count), so
+// the rendered diagnostic stays small no matter how many cells the
+// sweep is missing.
+func formatIndices(ks []int, total int) string {
 	var b bytes.Buffer
 	for i, k := range ks {
-		if i == max {
-			fmt.Fprintf(&b, ", … %d more", len(ks)-max)
-			break
-		}
 		if i > 0 {
 			b.WriteString(", ")
 		}
 		fmt.Fprintf(&b, "%d", k)
+	}
+	if rest := total - len(ks); rest > 0 {
+		fmt.Fprintf(&b, ", … %d more", rest)
 	}
 	return b.String()
 }

@@ -80,6 +80,30 @@ func TestMergeCheckpointsReportsMissingCells(t *testing.T) {
 	}
 }
 
+// TestMergeCheckpointsTruncatesMissingList pins the satellite fix: a
+// near-empty shard of a huge sweep reports the first few missing
+// indices plus a count, never an error string enumerating every absent
+// cell of a 100k-cell grid.
+func TestMergeCheckpointsTruncatesMissingList(t *testing.T) {
+	dir := t.TempDir()
+	const fp = "sweep"
+	const total = 100_000
+	only := writeShard(t, dir, "s0.json", fp, map[int]string{7: `1`, 99_999: `1`})
+	_, err := MergeCheckpoints(filepath.Join(dir, "m.json"), fp, total, []string{only})
+	if err == nil {
+		t.Fatal("partial coverage accepted")
+	}
+	msg := err.Error()
+	if len(msg) > 512 {
+		t.Fatalf("missing-cells diagnostic is %d bytes — the list is not truncated:\n%.200s…", len(msg), msg)
+	}
+	for _, want := range []string{"99998 of 100000 cells missing", "0, 1, 2", "… 99978 more"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("diagnostic %q missing %q", msg, want)
+		}
+	}
+}
+
 func TestMergeCheckpointsRejectsConflictingDuplicates(t *testing.T) {
 	dir := t.TempDir()
 	const fp = "sweep"
