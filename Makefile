@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test verify bench-smoke bench bench-pisa bench-pisa-full docs-lint
+.PHONY: all build test test-race verify bench-smoke bench bench-pisa bench-pisa-full docs-lint
 
 all: verify
 
@@ -16,11 +16,21 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the tier-1 check: everything builds, every test passes, the
+# test-race runs the race detector over every package that spawns
+# goroutines: the worker pool, the parallel PISA/GA chains, the shared
+# scheduler scratch/cache machinery they reuse, and the sweep drivers
+# that compose them. The parallel paths are deterministic by
+# construction (pre-split RNG streams, per-chain scratches, canonical
+# merge), and this is the gate that keeps the construction honest.
+test-race:
+	$(GO) test -race ./internal/runner ./internal/core ./internal/scheduler ./internal/experiments
+
+# verify is the tier-1 check: everything builds, every test passes
+# (including under the race detector for the concurrent packages), the
 # hot path still schedules without allocating, the PISA inner loop stays
 # incremental (bit-identical and allocation-free), and every package
 # stays documented.
-verify: build test docs-lint bench-smoke bench-pisa
+verify: build test test-race docs-lint bench-smoke bench-pisa
 
 # docs-lint fails if any internal/* package lacks a package comment
 # ("// Package <name> ..."). Every package must state its role and key
@@ -49,19 +59,23 @@ bench:
 
 # bench-pisa is the PISA inner-loop smoke gate: the bit-identity suites
 # (incremental annealer == copy-and-rebuild reference, incremental GA ==
-# clone-and-rebuild reference), the apply→undo round-trip property, the
-# cache-invalidation properties behind rank memoization (every mutating
-# Tables op bumps Generation; stale cached ranks impossible), the
-# 0 allocs/op gate for the steady-state accept/reject cycle, the
-# enforced ≥1.3x iteration-speedup ratio check
-# (TestPISAIterationMemoizationGate, opted in via PISA_BENCH_GATE=1),
-# and one -benchtime=1x pass over the benchmarks so they cannot rot.
-# Part of `make verify`.
+# clone-and-rebuild reference, parallel == sequential at every worker
+# count), the apply→undo round-trip property, the cache-invalidation
+# properties behind rank memoization (every mutating Tables op bumps
+# Generation; stale cached ranks impossible), the 0 allocs/op gate for
+# the steady-state accept/reject cycle, the enforced ≥1.3x
+# iteration-speedup ratio check and the ≥1.5x parallel-run speedup check
+# (TestPISAIterationMemoizationGate / TestPISAParallelSpeedupGate, opted
+# in via PISA_BENCH_GATE=1; the parallel gate self-skips on single-core
+# hosts where wall-clock scaling is physically impossible), and one
+# -benchtime=1x pass over the benchmarks so they cannot rot. Part of
+# `make verify`.
 bench-pisa:
 	$(GO) test -run 'TestRunBitIdenticalToReference|TestRunGABitIdenticalToReference|TestPerturbUndoRoundTrip|TestPISASteadyStateZeroAlloc|TestRunTracePreallocated' -count 1 ./internal/core/
-	$(GO) test -run 'TestTablesGenerationBumps|TestTablesTopoIncrementalRepair' -count 1 ./internal/graph/
-	$(GO) test -run 'TestEvalCache' -count 1 ./internal/scheduler/
-	PISA_BENCH_GATE=1 $(GO) test -run 'TestPISAIterationMemoizationGate' -count 1 -v ./internal/core/
+	$(GO) test -run 'TestRunParallel|TestRunGAParallel' -count 1 ./internal/core/
+	$(GO) test -run 'TestTablesGenerationBumps|TestTablesTopoIncrementalRepair|TestUpdateNodeSpeedPrefixResume' -count 1 ./internal/graph/
+	$(GO) test -run 'TestEvalCache|TestTopoOrderMemo' -count 1 ./internal/scheduler/
+	PISA_BENCH_GATE=1 $(GO) test -run 'TestPISAIterationMemoizationGate|TestPISAParallelSpeedupGate' -count 1 -v ./internal/core/
 	$(GO) test -run '^$$' -bench 'BenchmarkPISAIteration|BenchmarkPISACandidateGen' -benchmem -benchtime 1x ./internal/core/
 	$(GO) test -run '^$$' -bench 'BenchmarkPISARun' -benchmem -benchtime 1x .
 

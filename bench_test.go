@@ -8,6 +8,7 @@ package saga
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"saga/internal/core"
@@ -417,6 +418,14 @@ func BenchmarkPISARun(b *testing.B) {
 	}{
 		{"incremental", core.Run},
 		{"reference", core.RunReference},
+		// parallel is core.Run with Workers=NumCPU — bit-identical results
+		// (internal/core/parallel_test.go), so its ns/op against the
+		// incremental variant is the pure intra-cell scaling. On a
+		// single-core host it measures the parallel path's overhead instead.
+		{"parallel", func(target, baseline scheduler.Scheduler, opts core.Options) (*core.Result, error) {
+			opts.Workers = runtime.NumCPU()
+			return core.Run(target, baseline, opts)
+		}},
 	}
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {

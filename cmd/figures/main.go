@@ -50,6 +50,7 @@ var (
 	flagProgress = flag.Bool("progress", false, "report sweep progress on stderr")
 	flagCkpt     = flag.String("checkpoint", "", "checkpoint file for fig4, fig7, fig8 and appspecific (resume an interrupted sweep; for appspecific pin one block with -ccr)")
 	flagShard    = flag.String("shard", "", "run only shard I/C (e.g. 2/8) of a checkpointed sweep; cells stay in the -checkpoint store for `saga merge`")
+	flagChainW   = flag.Int("chain-workers", 0, "parallel workers inside each annealing cell (0 or 1 = sequential; results and fingerprints identical at any count)")
 )
 
 // sweepParams mirrors the flag values into the sweep identity shared
@@ -57,12 +58,13 @@ var (
 // a worker shard and a local run of the same flags address one store.
 func sweepParams(workflow string, ccr float64) experiments.SweepParams {
 	return experiments.SweepParams{
-		N:        *flagN,
-		Iters:    *flagIters,
-		Restarts: *flagRestarts,
-		Seed:     *flagSeed,
-		Workflow: workflow,
-		CCR:      ccr,
+		N:            *flagN,
+		Iters:        *flagIters,
+		Restarts:     *flagRestarts,
+		Seed:         *flagSeed,
+		Workflow:     workflow,
+		CCR:          ccr,
+		ChainWorkers: *flagChainW,
 	}
 }
 

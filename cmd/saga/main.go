@@ -15,7 +15,6 @@
 package main
 
 import (
-	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
@@ -87,16 +86,17 @@ commands:
   datasets   list the available dataset generators (Table II)
   generate   -dataset <name> [-seed N] [-out file.json]
   schedule   -scheduler <name> -in file.json [-gantt]
-  pisa       -target <name> -base <name> [-method sa|ga] [-iters N] [-restarts N] [-seed N] [-out file.json]
+  pisa       -target <name> -base <name> [-method sa|ga] [-iters N] [-restarts N] [-seed N] [-workers N] [-out file.json]
   portfolio  -k N [-schedulers a,b,c] [-iters N] [-restarts N] [-seed N] [-workers N]
-  robustness -scheduler <name> -in file.json [-sigma F] [-n N] [-seed N] [-workers N] [-checkpoint file]
+  robustness -scheduler <name> -in file.json [-sigma F] [-n N] [-seed N] [-workers N] [-checkpoint file] [-shard I/C]
   convert    -from-wfc wf.json [-link F] [-ccr F] -out inst.json   (wfformat -> instance)
              -from-instance inst.json -out wf.json                 (instance -> wfformat)
   simulate   -scheduler <name> -in file.json [-contention]
   benchmark  [-datasets a,b] [-schedulers x,y] [-n N] [-seed N]
   describe   -dataset <name> [-n N] [-seed N]
-  worker     -driver fig4|fig7|fig8|appspecific -shard I/C -checkpoint file [-n N] [-seed N]
-             [-iters N] [-restarts N] [-workflow w] [-ccr F] [-workers N] [-progress]
+  worker     -driver fig4|fig7|fig8|appspecific|robustness -shard I/C -checkpoint file [-n N] [-seed N]
+             [-iters N] [-restarts N] [-workflow w] [-ccr F] [-scheduler s] [-sigma F] [-in file.json]
+             [-workers N] [-chain-workers N] [-progress]
   merge      -driver <name> -out merged.json [sweep flags as for worker] shard1.json shard2.json ...`)
 }
 
@@ -191,6 +191,7 @@ func pisaCmd(args []string) error {
 	restarts := fs.Int("restarts", 5, "independent restarts")
 	seed := fs.Uint64("seed", 1, "random seed")
 	method := fs.String("method", "sa", "search meta-heuristic: sa (simulated annealing) or ga (genetic)")
+	workers := fs.Int("workers", 0, "parallel workers inside the search (restart chains / offspring evaluation; 0 or 1 = sequential, results identical at any count)")
 	out := fs.String("out", "", "write the worst-case instance JSON here")
 	trace := fs.String("trace", "", "write the annealing trace CSV here (sa only)")
 	if err := fs.Parse(args); err != nil {
@@ -211,6 +212,7 @@ func pisaCmd(args []string) error {
 		opts.MaxIters = *iters
 		opts.Restarts = *restarts
 		opts.Seed = *seed
+		opts.Workers = *workers
 		opts.RecordTrace = *trace != ""
 		res, err = experiments.SinglePISA(target, base, opts)
 	case "ga":
@@ -220,6 +222,7 @@ func pisaCmd(args []string) error {
 			opts.Generations = 1
 		}
 		opts.Seed = *seed
+		opts.Workers = *workers
 		opts.InitialInstance = experiments.RandomChainInstance
 		res, err = core.RunGA(target, base, opts)
 	default:
@@ -299,6 +302,7 @@ func robustnessCmd(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	ckptPath := fs.String("checkpoint", "", "checkpoint file (resume an interrupted jitter sweep)")
+	shardStr := fs.String("shard", "", "compute only shard I/C of the jitter samples (requires -checkpoint; combine with `saga merge -driver robustness`)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -306,6 +310,29 @@ func robustnessCmd(args []string) error {
 		return fmt.Errorf("robustness: -in is required")
 	}
 	raw, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	ro := runner.Options{Workers: *workers}
+	sharded := *shardStr != ""
+	if sharded {
+		if *ckptPath == "" {
+			return fmt.Errorf("robustness: -shard requires -checkpoint (the store is the shard's output)")
+		}
+		if ro.Shard, err = runner.ParseShard(*shardStr); err != nil {
+			return err
+		}
+	}
+	// NewSweep carries the shared fingerprint: it hashes the exact bytes
+	// the instance was parsed from, not the file path, so resuming after
+	// the file was regenerated in place fails loudly instead of mixing
+	// cells from two different instances. Going through the sweep registry
+	// (rather than formatting the fingerprint here) is what makes a
+	// robustness store interchangeable between this command, `saga
+	// worker -driver robustness`, and `saga merge`.
+	sw, err := experiments.NewSweep("robustness", experiments.SweepParams{
+		N: *n, Seed: *seed, Scheduler: *name, Sigma: *sigma, InstanceRaw: raw,
+	})
 	if err != nil {
 		return err
 	}
@@ -317,21 +344,26 @@ func robustnessCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	ro := runner.Options{Workers: *workers}
 	var ckpt *serialize.Checkpoint
 	if *ckptPath != "" {
-		// The fingerprint hashes the exact bytes the instance was parsed
-		// from, not just the file path: resuming after the file was
-		// regenerated in place must fail loudly instead of mixing cells
-		// from two different instances.
 		ckpt = serialize.NewCheckpoint(*ckptPath)
-		ckpt.SetFingerprint(fmt.Sprintf("robustness scheduler=%s in=%x sigma=%g n=%d seed=%d",
-			*name, sha256.Sum256(raw), *sigma, *n, *seed))
+		ckpt.SetFingerprint(sw.Fingerprint)
 		ro.Checkpoint = ckpt
 	}
 	res, err := experiments.RobustnessRun(inst, s, *sigma, *n, *seed, ro)
 	if err != nil {
 		return err
+	}
+	if sharded {
+		// A shard's output is its store, not the partial in-memory
+		// summaries (they cover owned cells only). Leave a fingerprinted
+		// store even when this shard owns zero cells.
+		if err := ckpt.Touch(); err != nil {
+			return err
+		}
+		fmt.Printf("robustness: shard %s complete; cells stored in %s (combine with `saga merge -driver robustness`)\n",
+			ro.Shard, *ckptPath)
+		return nil
 	}
 	if ckpt != nil {
 		if err := ckpt.Remove(); err != nil {
@@ -515,19 +547,32 @@ func benchmarkCmd(args []string) error {
 // same source cmd/figures draws its flag defaults from — so a worker
 // launched with the same flags as a `figures` run writes cells the
 // figures process can resume from (and vice versa).
-func sweepFlags(fs *flag.FlagSet) func() experiments.SweepParams {
+func sweepFlags(fs *flag.FlagSet) func() (experiments.SweepParams, error) {
 	d := experiments.DefaultSweepParams()
-	n := fs.Int("n", d.N, "instances per dataset / family samples (as figures -n)")
+	n := fs.Int("n", d.N, "instances per dataset / family samples / jitter samples (as figures -n)")
 	seed := fs.Uint64("seed", d.Seed, "root random seed")
 	iters := fs.Int("iters", d.Iters, "PISA iterations per restart")
 	restarts := fs.Int("restarts", d.Restarts, "PISA restarts per pair")
 	workflow := fs.String("workflow", d.Workflow, "workflow for the appspecific driver")
 	ccr := fs.Float64("ccr", d.CCR, "CCR block for the appspecific driver (required > 0 there)")
-	return func() experiments.SweepParams {
-		return experiments.SweepParams{
+	sched := fs.String("scheduler", "HEFT", "scheduler for the robustness driver")
+	sigma := fs.Float64("sigma", 0.2, "relative cost jitter for the robustness driver")
+	in := fs.String("in", "", "instance JSON file for the robustness driver (required there)")
+	chainWorkers := fs.Int("chain-workers", 0, "parallel workers inside each annealing cell (0 or 1 = sequential; results identical at any count)")
+	return func() (experiments.SweepParams, error) {
+		p := experiments.SweepParams{
 			N: *n, Seed: *seed, Iters: *iters, Restarts: *restarts,
 			Workflow: *workflow, CCR: *ccr,
+			Scheduler: *sched, Sigma: *sigma, ChainWorkers: *chainWorkers,
 		}
+		if *in != "" {
+			raw, err := os.ReadFile(*in)
+			if err != nil {
+				return p, err
+			}
+			p.InstanceRaw = raw
+		}
+		return p, nil
 	}
 }
 
@@ -555,7 +600,11 @@ func workerCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	sw, err := experiments.NewSweep(*driver, params())
+	p, err := params()
+	if err != nil {
+		return err
+	}
+	sw, err := experiments.NewSweep(*driver, p)
 	if err != nil {
 		return err
 	}
@@ -600,13 +649,22 @@ func mergeCmd(args []string) error {
 	if len(shards) == 0 {
 		return fmt.Errorf("merge: no shard stores given (pass them as positional arguments)")
 	}
-	sw, err := experiments.NewSweep(*driver, params())
+	p, err := params()
+	if err != nil {
+		return err
+	}
+	sw, err := experiments.NewSweep(*driver, p)
 	if err != nil {
 		return err
 	}
 	n, err := serialize.MergeCheckpoints(*out, sw.Fingerprint, sw.Cells, shards)
 	if err != nil {
 		return err
+	}
+	if sw.Name == "robustness" {
+		fmt.Printf("merge: %s complete — %d cells from %d shards in %s; summarize with `saga robustness -checkpoint %s` (same flags)\n",
+			sw.Name, n, len(shards), *out, *out)
+		return nil
 	}
 	// Flags must precede the figure name: cmd/figures uses the global
 	// flag.Parse, which stops at the first positional argument.

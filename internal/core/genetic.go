@@ -42,6 +42,16 @@ type GAOptions struct {
 	// Options.Scratch in the annealer. Nil allocates a private one per
 	// run; the scratch never affects results.
 	Scratch *scheduler.Scratch
+	// Workers bounds how many offspring fitness evaluations run
+	// concurrently. 0 or 1 keeps the classic sequential loop (the right
+	// choice inside an already-parallel sweep); values above
+	// PopulationSize are clamped. Results are bit-identical for every
+	// value: all randomness — selection, crossover, the mutation
+	// decision and the mutation itself — stays on the calling goroutine
+	// in the sequential order, and only the deterministic fitness
+	// evaluations fan out (see runGAParallel). With Workers > 1,
+	// InitialInstance must be safe for concurrent calls.
+	Workers int
 }
 
 // DefaultGAOptions returns a configuration comparable in evaluation
@@ -113,6 +123,9 @@ func RunGA(target, baseline scheduler.Scheduler, opts GAOptions) (*Result, error
 	}
 	p := opts.Perturb.withDefaults()
 	r := rng.New(opts.Seed)
+	if w := gaWorkers(opts); w > 1 {
+		return runGAParallel(target, baseline, opts, p, r, w)
+	}
 	ev := newEvaluator(target, baseline, opts.Scratch)
 	ps := ev.scr.Ext(pisaExtKey, func() any { return new(perturbState) }).(*perturbState)
 	ps.ops = append(ps.ops[:0], enabledOps(p)...)
@@ -129,9 +142,7 @@ func RunGA(target, baseline scheduler.Scheduler, opts GAOptions) (*Result, error
 		pop[i] = individual{inst: inst, ratio: ratio}
 	}
 
-	byFitness := func() {
-		sort.SliceStable(pop, func(a, b int) bool { return pop[a].ratio > pop[b].ratio })
-	}
+	byFitness := func() { sortByFitness(pop) }
 	byFitness()
 
 	tournament := func() individual {
@@ -192,6 +203,24 @@ func RunGA(target, baseline scheduler.Scheduler, opts GAOptions) (*Result, error
 	res.BestRatio = pop[0].ratio
 	res.RestartRatios = []float64{pop[0].ratio}
 	return res, nil
+}
+
+// gaWorkers resolves GAOptions.Workers to an effective worker count:
+// 0 and 1 mean sequential, anything larger is clamped to the population
+// size (the widest fitness fan-out a generation offers).
+func gaWorkers(opts GAOptions) int {
+	w := opts.Workers
+	if w > opts.PopulationSize {
+		w = opts.PopulationSize
+	}
+	return w
+}
+
+// sortByFitness is the shared generation ordering: stable descending by
+// ratio, so equal-fitness individuals keep their construction order and
+// the sequential and parallel loops sort identically.
+func sortByFitness(pop []individual) {
+	sort.SliceStable(pop, func(a, b int) bool { return pop[a].ratio > pop[b].ratio })
 }
 
 // copyInto deep-copies src into dst's storage, allocating dst only on

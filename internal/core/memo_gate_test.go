@@ -2,7 +2,10 @@ package core
 
 import (
 	"os"
+	"runtime"
 	"testing"
+
+	"saga/internal/datasets"
 )
 
 // TestPISAIterationMemoizationGate is the enforced (not merely
@@ -16,6 +19,11 @@ import (
 //
 // Timing gates do not belong in plain `go test ./...`; `make
 // bench-pisa` (part of `make verify`) opts in via PISA_BENCH_GATE=1.
+//
+// Each side is measured as the best of three rounds: on a loaded or
+// shared host a single testing.Benchmark round can catch a scheduling
+// hiccup on either side and flake the ratio; the minimum across rounds
+// approximates the undisturbed cost, which is what the gate is about.
 func TestPISAIterationMemoizationGate(t *testing.T) {
 	if os.Getenv("PISA_BENCH_GATE") == "" {
 		t.Skip("timing gate; run via `make bench-pisa` (PISA_BENCH_GATE=1)")
@@ -24,8 +32,8 @@ func TestPISAIterationMemoizationGate(t *testing.T) {
 	insts := pisaBenchInstances()
 	for _, scale := range []string{"fog48", "cloud"} {
 		inst := insts[scale]
-		inc := testing.Benchmark(func(b *testing.B) { runIncrementalIteration(b, inst) })
-		ref := testing.Benchmark(func(b *testing.B) { runReferenceIteration(b, inst) })
+		inc := bestOfRounds(3, func(b *testing.B) { runIncrementalIteration(b, inst) })
+		ref := bestOfRounds(3, func(b *testing.B) { runReferenceIteration(b, inst) })
 		if inc.NsPerOp() <= 0 || ref.NsPerOp() <= 0 {
 			t.Fatalf("%s: degenerate measurement (inc=%v, ref=%v)", scale, inc, ref)
 		}
@@ -38,5 +46,65 @@ func TestPISAIterationMemoizationGate(t *testing.T) {
 		if allocs := inc.AllocsPerOp(); allocs != 0 {
 			t.Errorf("%s: incremental iteration allocates %d/op once warm; want 0", scale, allocs)
 		}
+	}
+}
+
+// bestOfRounds runs a benchmark function n times and returns the round
+// with the lowest ns/op — the anti-flake measurement both timing gates
+// share.
+func bestOfRounds(n int, f func(b *testing.B)) testing.BenchmarkResult {
+	best := testing.Benchmark(f)
+	for round := 1; round < n; round++ {
+		if r := testing.Benchmark(f); r.NsPerOp() < best.NsPerOp() {
+			best = r
+		}
+	}
+	return best
+}
+
+// TestPISAParallelSpeedupGate enforces that intra-cell parallelism
+// actually buys wall-clock on a multi-core host: full Run at the
+// chain_500x2-equivalent budget with Workers=NumCPU must beat
+// sequential Run by the scaling the core count supports (conservative
+// gate: 1.5× at ≥2 cores, where perfect scaling on 2 restarts would be
+// 2×). On a single-core host the comparison is physically meaningless —
+// the chains time-slice one core and the parallel path can only add
+// overhead — so the gate skips with an explicit log; byte-identity at
+// every worker count is enforced unconditionally by parallel_test.go
+// regardless of core count.
+func TestPISAParallelSpeedupGate(t *testing.T) {
+	if os.Getenv("PISA_BENCH_GATE") == "" {
+		t.Skip("timing gate; run via `make bench-pisa` (PISA_BENCH_GATE=1)")
+	}
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 2 {
+		t.Skipf("single-core host (GOMAXPROCS=%d): parallel wall-clock speedup is unmeasurable here; determinism is still gated by parallel_test.go", procs)
+	}
+	const minParallelSpeedup = 1.5
+	opts := DefaultOptions()
+	opts.MaxIters = 500
+	opts.Restarts = 2 * procs // enough chains to keep every core busy
+	opts.InitialInstance = datasets.InitialPISAInstance
+	target, baseline := mustSched(t, "HEFT"), mustSched(t, "CPoP")
+	run := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			o := opts
+			o.Workers = workers
+			for i := 0; i < b.N; i++ {
+				o.Seed = uint64(i + 1)
+				if _, err := Run(target, baseline, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	seq := bestOfRounds(3, run(1))
+	par := bestOfRounds(3, run(procs))
+	ratio := float64(seq.NsPerOp()) / float64(par.NsPerOp())
+	t.Logf("run/chain_500x%d: sequential %d ns/op, workers=%d %d ns/op — %.2fx",
+		opts.Restarts, seq.NsPerOp(), procs, par.NsPerOp(), ratio)
+	if ratio < minParallelSpeedup {
+		t.Errorf("parallel Run only %.2fx faster than sequential on %d cores; gate is %.1fx",
+			ratio, procs, minParallelSpeedup)
 	}
 }

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"saga/internal/datasets"
+	"saga/internal/scheduler"
+	_ "saga/internal/schedulers"
+)
+
+// workerCounts is the satellite-mandated panel: sequential, two
+// workers, and NumCPU (plus an over-provisioned count to exercise the
+// clamp). Byte-identity must hold for every entry.
+func workerCounts() []int {
+	return []int{1, 2, runtime.NumCPU(), 64}
+}
+
+// improveLog captures the OnImprove call sequence for comparison: the
+// parallel path buffers per chain and replays in restart order, so the
+// observed sequence must equal the sequential one's exactly.
+type improveLog []improvePoint
+
+func (l *improveLog) hook() func(int, float64) {
+	return func(iter int, ratio float64) { *l = append(*l, improvePoint{iter, ratio}) }
+}
+
+func assertSameImproves(t *testing.T, got, want improveLog) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("OnImprove call count diverged: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("OnImprove[%d] diverged: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRunParallelByteIdentical is the tentpole gate: for several
+// scheduler pairs, Run with every worker count produces byte-identical
+// Results — fingerprint, trace, restart ratios, evaluation counts, and
+// the OnImprove sequence — to sequential Run and to the cache-disabled
+// copy-and-rebuild reference.
+func TestRunParallelByteIdentical(t *testing.T) {
+	pairs := [][2]string{{"HEFT", "CPoP"}, {"MinMin", "MaxMin"}}
+	for _, pair := range pairs {
+		t.Run(pair[0]+"-vs-"+pair[1], func(t *testing.T) {
+			opts := testOptions(uint64(41 + len(pair[0])))
+			opts.Restarts = 4
+			opts.RecordTrace = true
+			var seqImp improveLog
+			opts.OnImprove = seqImp.hook()
+			seq, err := Run(mustSched(t, pair[0]), mustSched(t, pair[1]), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts.OnImprove = nil
+			ref, err := RunReference(mustSched(t, pair[0]), mustSched(t, pair[1]), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertResultsIdentical(t, seq, ref)
+			for _, w := range workerCounts() {
+				opts.Workers = w
+				var parImp improveLog
+				opts.OnImprove = parImp.hook()
+				par, err := Run(mustSched(t, pair[0]), mustSched(t, pair[1]), opts)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				assertResultsIdentical(t, par, seq)
+				assertSameImproves(t, parImp, seqImp)
+			}
+		})
+	}
+}
+
+// TestRunParallelSharedScratchReuse re-runs the parallel path twice
+// through one caller scratch (the sweep-worker calling convention): the
+// pooled per-worker scratches are reused, and reuse must not perturb
+// results.
+func TestRunParallelSharedScratchReuse(t *testing.T) {
+	opts := testOptions(97)
+	opts.Restarts = 3
+	opts.RecordTrace = true
+	seq, err := Run(mustSched(t, "HEFT"), mustSched(t, "CPoP"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Scratch = scheduler.NewScratch()
+	opts.Workers = 3
+	for i := 0; i < 3; i++ {
+		par, err := Run(mustSched(t, "HEFT"), mustSched(t, "CPoP"), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertResultsIdentical(t, par, seq)
+	}
+}
+
+// TestRunParallelSingleProc pins determinism under GOMAXPROCS=1: with
+// only one OS thread the chains interleave cooperatively in whatever
+// order the runtime schedules them, and the canonical merge must still
+// reproduce the sequential result bit for bit.
+func TestRunParallelSingleProc(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	opts := testOptions(7)
+	opts.Restarts = 4
+	opts.RecordTrace = true
+	seq, err := Run(mustSched(t, "HEFT"), mustSched(t, "CPoP"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 4
+	par, err := Run(mustSched(t, "HEFT"), mustSched(t, "CPoP"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, par, seq)
+}
+
+// TestRunParallelTieBreaksToLowestRestart forces every chain to the
+// same best ratio — an identical scheduler as its own baseline pins
+// every candidate to ratio 1 — so the merged winner is decided purely
+// by the tie rule. The sequential fold's strict improvement keeps
+// restart 0's instance; the parallel merge must return the identical
+// fingerprint for every worker count (a last-wins or racy merge would
+// surface some other restart's initial instance).
+func TestRunParallelTieBreaksToLowestRestart(t *testing.T) {
+	opts := testOptions(13)
+	opts.Restarts = 4
+	seq, err := Run(mustSched(t, "HEFT"), mustSched(t, "HEFT"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.BestRatio != 1 {
+		t.Fatalf("self-pair best ratio = %v, want exactly 1", seq.BestRatio)
+	}
+	for _, ratio := range seq.RestartRatios {
+		if ratio != 1 {
+			t.Fatalf("restart ratios %v not all tied at 1", seq.RestartRatios)
+		}
+	}
+	// The tie must be decided in favor of restart 0: its chain's best is
+	// its initial instance, which differs from every other restart's.
+	r0opts := opts
+	r0opts.Restarts = 1
+	r0, err := Run(mustSched(t, "HEFT"), mustSched(t, "HEFT"), r0opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fingerprint(t, seq.Best), fingerprint(t, r0.Best)) {
+		t.Fatal("sequential tie-break did not keep restart 0's instance")
+	}
+	for _, w := range workerCounts() {
+		opts.Workers = w
+		par, err := Run(mustSched(t, "HEFT"), mustSched(t, "HEFT"), opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		assertResultsIdentical(t, par, seq)
+	}
+}
+
+// TestRunGAParallelByteIdentical is the GA half of the tentpole gate:
+// RunGA with every worker count must match sequential RunGA and the
+// clone-and-full-Prepare reference bit for bit. This is also the proof
+// that the parallel path's full table rebuild equals the sequential
+// build-then-delta-patch (the graph.Tables incremental contract applied
+// in reverse).
+func TestRunGAParallelByteIdentical(t *testing.T) {
+	opts := gaTestOptions(59)
+	seq, err := RunGA(mustSched(t, "HEFT"), mustSched(t, "CPoP"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RunGAReference(mustSched(t, "HEFT"), mustSched(t, "CPoP"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, seq, ref)
+	for _, w := range workerCounts() {
+		opts.Workers = w
+		par, err := RunGA(mustSched(t, "HEFT"), mustSched(t, "CPoP"), opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		assertResultsIdentical(t, par, seq)
+	}
+}
+
+// TestRunGAParallelSingleProc is the GA analogue of the GOMAXPROCS=1
+// determinism pin.
+func TestRunGAParallelSingleProc(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	opts := gaTestOptions(61)
+	seq, err := RunGA(mustSched(t, "ETF"), mustSched(t, "HEFT"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = runtime.NumCPU() + 2
+	par, err := RunGA(mustSched(t, "ETF"), mustSched(t, "HEFT"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, par, seq)
+}
+
+// TestRunGAParallelSharedScratchReuse mirrors the annealer's pooled
+// scratch reuse test for the GA path.
+func TestRunGAParallelSharedScratchReuse(t *testing.T) {
+	opts := gaTestOptions(67)
+	seq, err := RunGA(mustSched(t, "GDL"), mustSched(t, "BIL"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Scratch = scheduler.NewScratch()
+	opts.Workers = 4
+	for i := 0; i < 3; i++ {
+		par, err := RunGA(mustSched(t, "GDL"), mustSched(t, "BIL"), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertResultsIdentical(t, par, seq)
+	}
+}
+
+// TestRunParallelModesAndPairs sweeps the full perturbation-mode ×
+// scheduler-pair panel of the incremental suite through the parallel
+// path at one representative worker count, anchoring parallel ==
+// reference across every operator family.
+func TestRunParallelModesAndPairs(t *testing.T) {
+	pairs := [][2]string{{"ETF", "HEFT"}, {"GDL", "BIL"}, {"HEFT", "FastestNode"}}
+	for mode, p := range incrementalModes() {
+		for _, pair := range pairs {
+			t.Run(mode+"/"+pair[0]+"-vs-"+pair[1], func(t *testing.T) {
+				opts := testOptions(uint64(len(mode) + len(pair[0])*31))
+				opts.Restarts = 3
+				opts.Perturb = p
+				opts.InitialInstance = datasets.InitialPISAInstance
+				ref, err := RunReference(mustSched(t, pair[0]), mustSched(t, pair[1]), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts.Workers = 2
+				par, err := Run(mustSched(t, pair[0]), mustSched(t, pair[1]), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertResultsIdentical(t, par, ref)
+			})
+		}
+	}
+}

@@ -64,6 +64,20 @@ type Options struct {
 	// evaluation into Result.Trace — the data behind annealing-curve
 	// plots and convergence analysis.
 	RecordTrace bool
+	// Workers bounds how many restart chains anneal concurrently. 0 or 1
+	// runs the classic sequential loop — the right choice inside an
+	// already-parallel sweep (runner.Map gives each cell one goroutine;
+	// nesting more would oversubscribe). Values above Restarts are
+	// clamped. Results are bit-identical for every value: each chain
+	// consumes the per-restart RNG stream the sequential loop's k-th
+	// root.Split() would yield, owns private scheduling state, and the
+	// chains merge canonically in restart order (argmax ratio, ties to
+	// the lowest restart index — exactly the sequential fold). With
+	// Workers > 1, InitialInstance must be safe for concurrent calls
+	// (the stock dataset generators are pure); OnImprove is never called
+	// concurrently — improvements are buffered per chain and replayed in
+	// restart order on the calling goroutine.
+	Workers int
 	// Scratch, when non-nil, is the reusable per-worker scheduling state
 	// (builder, precomputed tables, rank buffers) threaded through every
 	// candidate evaluation. Nil allocates a private one per Run. Parallel
@@ -260,9 +274,10 @@ func Run(target, baseline scheduler.Scheduler, opts Options) (*Result, error) {
 	}
 	p := opts.Perturb.withDefaults()
 	root := rng.New(opts.Seed)
-	ev := newEvaluator(target, baseline, opts.Scratch)
-	ps := ev.scr.Ext(pisaExtKey, func() any { return new(perturbState) }).(*perturbState)
-	ps.ops = append(ps.ops[:0], enabledOps(p)...)
+	if w := chainWorkers(opts); w > 1 {
+		return runParallel(target, baseline, opts, p, root, w)
+	}
+	cs := newChainState(newEvaluator(target, baseline, opts.Scratch), p)
 
 	res := &Result{
 		BestRatio:     math.Inf(-1),
@@ -274,71 +289,119 @@ func Run(target, baseline scheduler.Scheduler, opts Options) (*Result, error) {
 		// (each would copy the whole trace so far).
 		res.Trace = make([]TracePoint, 0, tracePrealloc(opts.Restarts, opts.MaxIters))
 	}
-	// One incumbent-best buffer serves every annealing chain; only the
-	// returned Result.Best is ever cloned out of it. There is no
-	// candidate buffer — the candidate IS cur, mutated in place and
-	// rolled back on rejection.
-	var best *graph.Instance
 	for restart := 0; restart < opts.Restarts; restart++ {
-		r := root.Split()
-		cur := prepare(opts.InitialInstance(r), p)
-		tab := ev.prepare(cur)
-		initRatio, err := ev.ratioPrepared(cur)
+		bestRatio, evals, trace, err := cs.runChain(opts, p, restart, root.Split(), res.Trace, opts.OnImprove)
+		res.Evaluations += evals
 		if err != nil {
 			return nil, err
 		}
-		res.Evaluations++
-
-		if best == nil {
-			best = cur.Clone()
-		} else {
-			best.CopyFrom(cur)
-		}
-		bestRatio := initRatio
-		temp := opts.TMax
-		for iter := 0; temp > opts.TMin && iter < opts.MaxIters; iter++ {
-			perturbInPlace(cur, r, p, ps)
-			applyTables(tab, ps)
-			candRatio, err := ev.ratioPrepared(cur)
-			if err != nil {
-				return nil, err
-			}
-			res.Evaluations++
-
-			accepted := false
-			if candRatio > bestRatio {
-				best.CopyFrom(cur)
-				bestRatio = candRatio
-				accepted = true
-				if opts.OnImprove != nil {
-					opts.OnImprove(iter, bestRatio)
-				}
-			} else if r.Float64() < math.Exp(-(candRatio/bestRatio)/temp) {
-				// Algorithm 1 line 9: accept a non-improving candidate
-				// with probability exp(−(M'/M_best)/T).
-				accepted = true
-			} else {
-				revert(cur, tab, ps)
-			}
-			if opts.RecordTrace {
-				res.Trace = append(res.Trace, TracePoint{
-					Restart:     restart,
-					Iteration:   iter,
-					Temperature: temp,
-					Ratio:       candRatio,
-					Best:        bestRatio,
-					Accepted:    accepted,
-				})
-			}
-			temp *= opts.Alpha
-		}
+		res.Trace = trace
 		res.RestartRatios = append(res.RestartRatios, bestRatio)
 		if bestRatio > res.BestRatio {
-			res.Best, res.BestRatio = best.Clone(), bestRatio
+			res.Best, res.BestRatio = cs.best.Clone(), bestRatio
 		}
 	}
 	_ = res.Best.Validate() // best-effort sanity; instances stay valid by construction
 	return res, nil
+}
+
+// chainWorkers resolves Options.Workers to an effective chain count:
+// 0 and 1 mean sequential, anything larger is clamped to Restarts
+// (chains beyond the restart budget would sit idle).
+func chainWorkers(opts Options) int {
+	w := opts.Workers
+	if w > opts.Restarts {
+		w = opts.Restarts
+	}
+	return w
+}
+
+// chainState is the per-worker annealing machinery one goroutine owns:
+// the evaluator (scratch, tables, schedule buffers), the perturbation
+// undo state parked in that scratch, and the incumbent-best buffer every
+// chain it runs reuses. One chainState serves the whole sequential Run;
+// the parallel path builds one per worker.
+type chainState struct {
+	ev   *evaluator
+	ps   *perturbState
+	best *graph.Instance
+}
+
+func newChainState(ev *evaluator, p PerturbOptions) *chainState {
+	ps := ev.scr.Ext(pisaExtKey, func() any { return new(perturbState) }).(*perturbState)
+	ps.ops = append(ps.ops[:0], enabledOps(p)...)
+	return &chainState{ev: ev, ps: ps}
+}
+
+// runChain anneals one restart — the body of Algorithm 1 for a single
+// chain: generate the initial instance from the chain's own sub-stream,
+// then the in-place perturb/patch/evaluate/accept-or-revert loop. The
+// chain's best lands in cs.best; the returned trace is the input slice
+// with this chain's points appended (the sequential loop threads one
+// shared slice through every restart, parallel chains pass private
+// ones). onImprove, when non-nil, sees every incumbent improvement
+// exactly as the sequential loop reports it. The returned count covers
+// successful evaluations only (a failed candidate is not counted),
+// matching the sequential loop's bookkeeping.
+func (cs *chainState) runChain(opts Options, p PerturbOptions, restart int, r *rng.RNG,
+	trace []TracePoint, onImprove func(iteration int, ratio float64)) (float64, int, []TracePoint, error) {
+	ev, ps := cs.ev, cs.ps
+	cur := prepare(opts.InitialInstance(r), p)
+	tab := ev.prepare(cur)
+	initRatio, err := ev.ratioPrepared(cur)
+	if err != nil {
+		return 0, 0, trace, err
+	}
+	evals := 1
+
+	// One incumbent-best buffer serves every chain this state runs; only
+	// the merged Result.Best is ever cloned out of it. There is no
+	// candidate buffer — the candidate IS cur, mutated in place and
+	// rolled back on rejection.
+	if cs.best == nil {
+		cs.best = cur.Clone()
+	} else {
+		cs.best.CopyFrom(cur)
+	}
+	bestRatio := initRatio
+	temp := opts.TMax
+	for iter := 0; temp > opts.TMin && iter < opts.MaxIters; iter++ {
+		perturbInPlace(cur, r, p, ps)
+		applyTables(tab, ps)
+		candRatio, err := ev.ratioPrepared(cur)
+		if err != nil {
+			return 0, evals, trace, err
+		}
+		evals++
+
+		accepted := false
+		if candRatio > bestRatio {
+			cs.best.CopyFrom(cur)
+			bestRatio = candRatio
+			accepted = true
+			if onImprove != nil {
+				onImprove(iter, bestRatio)
+			}
+		} else if r.Float64() < math.Exp(-(candRatio/bestRatio)/temp) {
+			// Algorithm 1 line 9: accept a non-improving candidate
+			// with probability exp(−(M'/M_best)/T).
+			accepted = true
+		} else {
+			revert(cur, tab, ps)
+		}
+		if opts.RecordTrace {
+			trace = append(trace, TracePoint{
+				Restart:     restart,
+				Iteration:   iter,
+				Temperature: temp,
+				Ratio:       candRatio,
+				Best:        bestRatio,
+				Accepted:    accepted,
+			})
+		}
+		temp *= opts.Alpha
+	}
+	return bestRatio, evals, trace, nil
 }
 
 // evaluator computes makespan ratios through the allocation-free

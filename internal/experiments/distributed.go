@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"strings"
 
@@ -9,6 +10,7 @@ import (
 	"saga/internal/runner"
 	"saga/internal/scheduler"
 	"saga/internal/schedulers"
+	"saga/internal/serialize"
 )
 
 // This file is the registry behind the distributed sweep protocol: the
@@ -29,6 +31,24 @@ type SweepParams struct {
 	Seed     uint64
 	Workflow string
 	CCR      float64
+
+	// Scheduler, Sigma and InstanceRaw parameterize the robustness sweep
+	// (its -scheduler/-sigma flags and the exact bytes of its -in file).
+	// InstanceRaw is hashed into the fingerprint, not embedded: resuming
+	// after the instance file was regenerated in place must fail loudly
+	// instead of mixing cells from two different instances.
+	Scheduler   string
+	Sigma       float64
+	InstanceRaw []byte
+
+	// ChainWorkers bounds intra-cell parallelism (core.Options.Workers /
+	// GAOptions.Workers) inside every annealing cell. It is deliberately
+	// excluded from all fingerprints: results are bit-identical for every
+	// value (the parallel chains merge canonically — see internal/core),
+	// so stores written at different ChainWorkers are interchangeable.
+	// Leave it 0 in sharded workers unless cells outnumber cores locally:
+	// runner.Map already uses one goroutine per cell.
+	ChainWorkers int
 }
 
 // DefaultSweepParams holds the CLI flag defaults both cmd/figures and
@@ -48,6 +68,7 @@ func (p SweepParams) Anneal() core.Options {
 	o.MaxIters = p.Iters
 	o.Restarts = p.Restarts
 	o.Seed = p.Seed
+	o.Workers = p.ChainWorkers
 	return o
 }
 
@@ -77,7 +98,7 @@ type Sweep struct {
 }
 
 // SweepNames lists the sweeps NewSweep accepts, in CLI help order.
-var SweepNames = []string{"fig4", "fig7", "fig8", "appspecific"}
+var SweepNames = []string{"fig4", "fig7", "fig8", "appspecific", "robustness"}
 
 // NewSweep resolves a sweep name (a checkpointable cmd/figures driver)
 // and its parameters into the fingerprint, cell count, and runnable
@@ -139,6 +160,35 @@ func NewSweep(name string, p SweepParams) (*Sweep, error) {
 					BenchmarkInstances: p.N,
 					Anneal:             p.Anneal(),
 				}, ro)
+				return err
+			},
+		}, nil
+	case "robustness":
+		if p.Scheduler == "" {
+			return nil, fmt.Errorf("experiments: robustness sweep needs a scheduler")
+		}
+		if len(p.InstanceRaw) == 0 {
+			return nil, fmt.Errorf("experiments: robustness sweep needs the instance bytes (-in)")
+		}
+		inst, err := serialize.UnmarshalInstance(p.InstanceRaw)
+		if err != nil {
+			return nil, err
+		}
+		s, err := scheduler.New(p.Scheduler)
+		if err != nil {
+			return nil, err
+		}
+		return &Sweep{
+			Name: name,
+			// The exact format `saga robustness -checkpoint` has always
+			// written: a sharded worker's store is resumable by the
+			// single-process command and vice versa. The hash covers the
+			// instance bytes, not the file path (see SweepParams).
+			Fingerprint: fmt.Sprintf("robustness scheduler=%s in=%x sigma=%g n=%d seed=%d",
+				p.Scheduler, sha256.Sum256(p.InstanceRaw), p.Sigma, p.N, p.Seed),
+			Cells: p.N,
+			Run: func(ro runner.Options) error {
+				_, err := RobustnessRun(inst, s, p.Sigma, p.N, p.Seed, ro)
 				return err
 			},
 		}, nil

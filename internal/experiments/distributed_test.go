@@ -239,7 +239,14 @@ func TestShardedRunReturnsPartialResult(t *testing.T) {
 }
 
 func TestNewSweepRegistry(t *testing.T) {
-	p := SweepParams{N: 20, Iters: 250, Restarts: 3, Seed: 1, Workflow: "srasearch", CCR: 1.0}
+	raw, err := serialize.MarshalInstance(datasets.Fig1Instance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := SweepParams{
+		N: 20, Iters: 250, Restarts: 3, Seed: 1, Workflow: "srasearch", CCR: 1.0,
+		Scheduler: "HEFT", Sigma: 0.2, InstanceRaw: raw,
+	}
 	for _, name := range SweepNames {
 		sw, err := NewSweep(name, p)
 		if err != nil {
@@ -267,6 +274,71 @@ func TestNewSweepRegistry(t *testing.T) {
 	bad.CCR = 0
 	if _, err := NewSweep("appspecific", bad); err == nil {
 		t.Fatal("appspecific sweep accepted without a CCR block")
+	}
+	bad = p
+	bad.Scheduler = ""
+	if _, err := NewSweep("robustness", bad); err == nil {
+		t.Fatal("robustness sweep accepted without a scheduler")
+	}
+	bad = p
+	bad.InstanceRaw = nil
+	if _, err := NewSweep("robustness", bad); err == nil {
+		t.Fatal("robustness sweep accepted without instance bytes")
+	}
+	// ChainWorkers must NOT enter any fingerprint: results are
+	// bit-identical at every worker count, so stores written at different
+	// intra-cell parallelism are interchangeable.
+	for _, name := range SweepNames {
+		p2 := p
+		p2.ChainWorkers = 7
+		a, err := NewSweep(name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewSweep(name, p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Fingerprint != b.Fingerprint {
+			t.Fatalf("%s: fingerprint depends on ChainWorkers", name)
+		}
+	}
+}
+
+// TestShardedRobustnessMergeDeterminism is satellite coverage for the
+// robustness sweep joining the distributed protocol: shards run through
+// the Sweep closure (the `saga worker` path), the merged store resumes
+// through the direct RobustnessRun call (the `saga robustness` path),
+// and the summaries match the sequential reference bit for bit.
+func TestShardedRobustnessMergeDeterminism(t *testing.T) {
+	inst := datasets.Fig1Instance()
+	raw, err := serialize.MarshalInstance(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := SweepParams{N: 30, Seed: 11, Scheduler: "HEFT", Sigma: 0.3, InstanceRaw: raw}
+	sw, err := NewSweep("robustness", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Cells != p.N {
+		t.Fatalf("robustness cells %d, want %d", sw.Cells, p.N)
+	}
+	seq, err := RobustnessRun(inst, mustSched(t, "HEFT"), p.Sigma, p.N, p.Seed, runner.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	paths := shardStores(t, dir, sw.Fingerprint, 3, sw.Run)
+	ro, calls := mergedResume(t, dir, sw.Fingerprint, sw.Cells, paths)
+	par, err := RobustnessRun(inst, mustSched(t, "HEFT"), p.Sigma, p.N, p.Seed, ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertLoadedEverything(t, "robustness", *calls)
+	if seq.Nominal != par.Nominal || seq.Static != par.Static || seq.Adaptive != par.Adaptive {
+		t.Fatalf("sharded union diverged:\nsequential %+v\nsharded    %+v", seq, par)
 	}
 }
 

@@ -55,6 +55,7 @@ func assertTablesEqual(t *testing.T, got, want *Tables, g *TaskGraph) {
 	eq("InvLink", got.InvLink, want.InvLink)
 	eq("AvgExec", got.AvgExec, want.AvgExec)
 	eq("Exec", got.Exec, want.Exec)
+	eq("execPrefix", got.execPrefix, want.execPrefix)
 	eq("avgComm", got.avgComm, want.avgComm)
 	if len(got.Topo) != len(want.Topo) {
 		t.Fatalf("Topo length %d vs %d", len(got.Topo), len(want.Topo))
@@ -118,6 +119,28 @@ func TestTablesIncrementalUpdates(t *testing.T) {
 			fresh.Build(inst)
 			assertTablesEqual(t, &tb, &fresh, inst.Graph)
 		}
+	}
+}
+
+// TestUpdateNodeSpeedPrefixResume hammers the prefix-sum resume path of
+// UpdateNodeSpeed: a long random walk of speed changes hitting every
+// column (first, middle, last), each patch compared bit for bit against
+// a from-scratch Build. The patch re-accumulates the row only from the
+// changed column, so any divergence between the stored prefix and a
+// full left-to-right pass would surface here.
+func TestUpdateNodeSpeedPrefixResume(t *testing.T) {
+	r := rng.New(0x5eed)
+	inst := incInstance()
+	var tb Tables
+	tb.Build(inst)
+	nV := inst.Net.NumNodes()
+	for step := 0; step < 200; step++ {
+		v := step % nV // cycle deterministically so edges columns 0 and nV-1 recur
+		inst.Net.Speeds[v] = 0.2 + r.Float64()
+		tb.UpdateNodeSpeed(v)
+		var fresh Tables
+		fresh.Build(inst)
+		assertTablesEqual(t, &tb, &fresh, inst.Graph)
 	}
 }
 

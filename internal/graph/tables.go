@@ -58,6 +58,14 @@ type Tables struct {
 	// Exec[t*NNodes+v] = c(t)/s(v), each entry the one division
 	// Instance.ExecTime performs, so reads are bit-identical.
 	Exec []float64
+	// execPrefix mirrors Exec with left-to-right partial row sums:
+	// execPrefix[t*NNodes+v] is the sum of Exec[t*NNodes : t*NNodes+v+1]
+	// accumulated in Build's exact order, so execPrefix[t*NNodes+NNodes-1]
+	// is the numerator of AvgExec[t] bit for bit. UpdateNodeSpeed resumes
+	// the running sum at the patched column instead of re-summing the
+	// whole row — identical floating-point operation sequence, half the
+	// work on average.
+	execPrefix []float64
 	// Topo is the deterministic topological order of the task graph
 	// (equal to TaskGraph.TopoOrder); TopoErr records the cycle error if
 	// the graph has one, in which case Topo is invalid.
@@ -194,6 +202,7 @@ func (tb *Tables) Build(inst *Instance) {
 	// exact summation order.
 	tb.AvgExec = growF64(tb.AvgExec, nT)
 	tb.Exec = growF64(tb.Exec, nT*nV)
+	tb.execPrefix = growF64(tb.execPrefix, nT*nV)
 	for t := 0; t < nT; t++ {
 		cost := g.Tasks[t].Cost
 		sum := 0.0
@@ -201,6 +210,7 @@ func (tb *Tables) Build(inst *Instance) {
 			e := cost / net.Speeds[v]
 			tb.Exec[t*nV+v] = e
 			sum += e
+			tb.execPrefix[t*nV+v] = sum
 		}
 		tb.AvgExec[t] = sum / float64(nV)
 	}
@@ -269,20 +279,32 @@ func predIndex(g *TaskGraph, v, u int) int {
 
 // UpdateNodeSpeed patches the tables after Net.Speeds[v] changed in
 // place: the inverse speed, node v's column of the dense exec-time
-// matrix, and every per-task average (recomputed by summing the stored
-// row in Build's order, so the result is bit-identical to a rebuild).
-// Link and communication tables are untouched — speeds never enter
-// them. O(|T|·|V|).
+// matrix, and every per-task average. The average is NOT re-summed from
+// column zero: columns left of v are untouched by the mutation, so
+// their stored prefix sum execPrefix[t*nV+v-1] is exactly the running
+// total a full left-to-right pass would carry into column v. Resuming
+// there and re-accumulating columns v..|V|-1 performs the identical
+// floating-point additions in the identical order — bit-identical to a
+// rebuild, at half the additions on average. Link and communication
+// tables are untouched — speeds never enter them. O(|T|·(|V|−v)).
 func (tb *Tables) UpdateNodeSpeed(v int) {
 	tb.Generation++
 	g, net := tb.src.Graph, tb.src.Net
 	nV := tb.NNodes
 	tb.InvSpeed[v] = 1 / net.Speeds[v]
 	for t := 0; t < tb.NTasks; t++ {
-		tb.Exec[t*nV+v] = g.Tasks[t].Cost / net.Speeds[v]
+		row := t * nV
 		sum := 0.0
-		for u := 0; u < nV; u++ {
-			sum += tb.Exec[t*nV+u]
+		if v > 0 {
+			sum = tb.execPrefix[row+v-1]
+		}
+		e := g.Tasks[t].Cost / net.Speeds[v]
+		tb.Exec[row+v] = e
+		sum += e
+		tb.execPrefix[row+v] = sum
+		for u := v + 1; u < nV; u++ {
+			sum += tb.Exec[row+u]
+			tb.execPrefix[row+u] = sum
 		}
 		tb.AvgExec[t] = sum / float64(nV)
 	}
@@ -327,6 +349,7 @@ func (tb *Tables) UpdateTaskWeight(t int) {
 		e := cost / net.Speeds[v]
 		tb.Exec[t*nV+v] = e
 		sum += e
+		tb.execPrefix[t*nV+v] = sum
 	}
 	tb.AvgExec[t] = sum / float64(nV)
 }

@@ -162,8 +162,9 @@ func TestMapNoGoroutineLeak(t *testing.T) {
 }
 
 func TestMapStress(t *testing.T) {
-	// Many tiny cells with maximum contention on the dispatch lock; run
-	// with -race in CI (tier-1 runs `go test -race ./internal/runner`).
+	// Many tiny cells with maximum contention on the dispatch lock. This
+	// is the stress case `make test-race` (part of `make verify`) runs
+	// under the race detector across the concurrent packages.
 	const n = 5000
 	out, err := Map(n, Options{Workers: 2 * runtime.GOMAXPROCS(0)}, func(k int) (int, error) {
 		return k, nil

@@ -1,7 +1,9 @@
 package runner
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -115,6 +117,41 @@ func TestMapShardedProgressCountsOwnedCells(t *testing.T) {
 	for i := range want {
 		if calls[i] != want[i] {
 			t.Fatalf("progress calls %v, want %v", calls, want)
+		}
+	}
+}
+
+// TestMapShardedProgressPrinterTotals wires the real ProgressPrinter —
+// exactly as the CLIs' -progress flags do — into a sharded Map and pins
+// the printed totals end to end: every line must report the shard's
+// owned-cell count as its denominator, never the full sweep's. (The
+// runner already computes the shard-local total; this guards the whole
+// callback path a worker actually runs through.)
+func TestMapShardedProgressPrinterTotals(t *testing.T) {
+	const n = 10
+	shard := ShardSpec{Index: 1, Count: 4} // owns cells 1, 5, 9
+	var buf bytes.Buffer
+	_, err := Map(n, Options{
+		Workers:  2,
+		Shard:    shard,
+		Progress: ProgressPrinter(&buf, "worker test "+shard.String()),
+	}, func(k int) (int, error) { return k, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("printed %d lines, want one per owned cell:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		if !strings.HasPrefix(line, "worker test 1/4: ") {
+			t.Fatalf("line %d missing label: %q", i, line)
+		}
+		if !strings.Contains(line, fmt.Sprintf("%d/3 cells", i+1)) {
+			t.Fatalf("line %d does not count against the shard's 3 owned cells: %q", i, line)
+		}
+		if strings.Contains(line, "/10") {
+			t.Fatalf("line %d reports the unsharded total: %q", i, line)
 		}
 	}
 }

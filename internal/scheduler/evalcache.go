@@ -31,11 +31,17 @@ type EvalCache struct {
 	gen  uint64
 
 	upOK, downOK, levelOK bool
-	disabled              bool
 
-	// Hits and Misses count rank lookups served from / filled into the
-	// cache since the scratch was created (disabled lookups count as
-	// misses — they recompute).
+	// topoUpOK/topoDownOK/topoLevelOK guard the memoized priority
+	// topological orders derived from the matching rank vector (see
+	// Scratch.TopoOrderByPriority) — same key, one flag per rank kind.
+	topoUpOK, topoDownOK, topoLevelOK bool
+
+	disabled bool
+
+	// Hits and Misses count memoized lookups (rank vectors and priority
+	// topo orders) served from / filled into the cache since the scratch
+	// was created (disabled lookups count as misses — they recompute).
 	Hits, Misses uint64
 }
 
@@ -45,6 +51,7 @@ func (c *EvalCache) sync(inst *graph.Instance, gen uint64) {
 	if c.inst != inst || c.gen != gen {
 		c.inst, c.gen = inst, gen
 		c.upOK, c.downOK, c.levelOK = false, false, false
+		c.topoUpOK, c.topoDownOK, c.topoLevelOK = false, false, false
 	}
 }
 

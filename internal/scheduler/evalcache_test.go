@@ -186,6 +186,86 @@ func TestEvalCacheInstanceSwitch(t *testing.T) {
 	}
 }
 
+func assertSameOrder(t *testing.T, name string, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s length %d, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s[%d] = %d, want %d", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestTopoOrderMemoHitsPerRankKind pins the priority-order memo: sorting
+// by a scratch-owned rank vector is computed once per (instance,
+// generation) per rank kind, each kind in its own buffer, and always
+// equal to the unmemoized package function.
+func TestTopoOrderMemoHitsPerRankKind(t *testing.T) {
+	inst := cacheTestInstance(rng.New(0x70b0))
+	s := NewScratch()
+
+	up := s.UpwardRank(inst)
+	wantUp := TopoOrderByPriority(inst.Graph, up)
+	assertSameOrder(t, "topo(up, miss)", s.TopoOrderByPriority(inst.Graph, up), wantUp)
+	c := s.EvalCache()
+	h, m := c.Hits, c.Misses
+	assertSameOrder(t, "topo(up, hit)", s.TopoOrderByPriority(inst.Graph, up), wantUp)
+	if c.Hits != h+1 || c.Misses != m {
+		t.Fatalf("repeat topo sort missed the memo (hits %d→%d, misses %d→%d)", h, c.Hits, m, c.Misses)
+	}
+
+	// A different rank kind gets its own slot; revisiting the first kind
+	// afterwards still hits — the buffers are per kind, not shared.
+	down := s.DownwardRank(inst)
+	wantDown := TopoOrderByPriority(inst.Graph, down)
+	assertSameOrder(t, "topo(down, miss)", s.TopoOrderByPriority(inst.Graph, down), wantDown)
+	assertSameOrder(t, "topo(up, hit #2)", s.TopoOrderByPriority(inst.Graph, up), wantUp)
+
+	// A caller-owned priority slice (CPoP's combined priority) is never
+	// memoized: equal values, different buffer, so it recomputes into the
+	// generic order buffer without touching the memos.
+	foreign := append([]float64(nil), up...)
+	assertSameOrder(t, "topo(foreign)", s.TopoOrderByPriority(inst.Graph, foreign), wantUp)
+	assertSameOrder(t, "topo(up, hit #3)", s.TopoOrderByPriority(inst.Graph, up), wantUp)
+}
+
+// TestTopoOrderMemoStaleReadsImpossible mirrors the rank invalidation
+// property test for the derived orders: every table patch must drop the
+// memoized order along with the ranks.
+func TestTopoOrderMemoStaleReadsImpossible(t *testing.T) {
+	r := rng.New(0x70b1)
+	inst := cacheTestInstance(r)
+	s := NewScratch()
+	tab := s.Tables(inst)
+	for step := 0; step < 100; step++ {
+		v := r.Intn(inst.Net.NumNodes())
+		inst.Net.Speeds[v] = 0.2 + r.Float64()
+		tab.UpdateNodeSpeed(v)
+		up := s.UpwardRank(inst)
+		want := TopoOrderByPriority(inst.Graph, up)
+		assertSameOrder(t, "topo after patch", s.TopoOrderByPriority(inst.Graph, up), want)
+		assertSameOrder(t, "topo after patch (hit)", s.TopoOrderByPriority(inst.Graph, up), want)
+	}
+}
+
+// TestTopoOrderMemoDisabled: with the cache off, the derived orders
+// recompute every time just like the ranks — the reference paths stay
+// genuinely unmemoized.
+func TestTopoOrderMemoDisabled(t *testing.T) {
+	inst := cacheTestInstance(rng.New(0x70b2))
+	s := NewScratch()
+	s.SetEvalCache(false)
+	up := s.UpwardRank(inst)
+	want := TopoOrderByPriority(inst.Graph, up)
+	assertSameOrder(t, "disabled#1", s.TopoOrderByPriority(inst.Graph, up), want)
+	assertSameOrder(t, "disabled#2", s.TopoOrderByPriority(inst.Graph, up), want)
+	if c := s.EvalCache(); c.Hits != 0 {
+		t.Fatalf("disabled cache served %d hits", c.Hits)
+	}
+}
+
 // TestEvalCacheZeroAllocSteadyState: memoization must not cost the
 // zero-allocation property of the scheduling hot path — a warm hit is
 // pointer comparisons and counter bumps only.
@@ -193,8 +273,9 @@ func TestEvalCacheZeroAllocSteadyState(t *testing.T) {
 	inst := cacheTestInstance(rng.New(0xa110c))
 	s := NewScratch()
 	s.UpwardRank(inst)
+	s.TopoOrderByPriority(inst.Graph, s.UpwardRank(inst))
 	allocs := testing.AllocsPerRun(200, func() {
-		s.UpwardRank(inst)
+		s.TopoOrderByPriority(inst.Graph, s.UpwardRank(inst))
 		s.DownwardRank(inst)
 		s.StaticLevel(inst)
 	})

@@ -39,6 +39,12 @@ type Scratch struct {
 	bools                   []bool
 	order                   []int
 
+	// orderUp/orderDown/orderLevel hold the memoized priority topological
+	// orders for the three rank vectors above, separate from the generic
+	// order buffer so a CPoP-style Floats-priority sort (never memoized)
+	// cannot clobber a memo another scheduler is about to hit.
+	orderUp, orderDown, orderLevel []int
+
 	pool []*schedule.Schedule // spare schedules (stack)
 
 	// ext holds per-algorithm extension state keyed by algorithm name
@@ -158,12 +164,49 @@ func (s *Scratch) Bools(n int) []bool {
 
 // TopoOrderByPriority is the scratch-buffered TopoOrderByPriority: same
 // order, reused frontier and order storage. The slice is valid until the
-// next TopoOrderByPriority call on s; the frontier is shared with
-// ReadySet, so this call invalidates a borrowed ready set.
+// next TopoOrderByPriority call on s with the same priority source; the
+// frontier is shared with ReadySet, so a recomputing call invalidates a
+// borrowed ready set.
+//
+// When the priority slice is one of the scratch's own memoized rank
+// vectors (the buffer identity, not just equal values), the derived
+// order is itself memoized per (instance, table generation): a HEFT
+// evaluation right after another HEFT of the identical tables (the
+// baseline of a same-family PISA pair, ensemble members sharing a rank)
+// reuses the sorted order instead of re-running the priority Kahn. The
+// guard requires the matching rank-valid flag, so a vector recomputed
+// outside the cache (disabled mode) never vouches for a stale order.
 func (s *Scratch) TopoOrderByPriority(g *graph.TaskGraph, priority []float64) []int {
-	s.rs.Reset(g)
-	s.order = topoOrderByPriority(&s.rs, g, priority, s.order[:0])
-	return s.order
+	var buf *[]int
+	var ok *bool
+	if s.inst != nil && s.inst.Graph == g {
+		switch {
+		case sameFloatBuffer(priority, s.rankUp) && s.cache.upOK:
+			buf, ok = &s.orderUp, &s.cache.topoUpOK
+		case sameFloatBuffer(priority, s.rankDown) && s.cache.downOK:
+			buf, ok = &s.orderDown, &s.cache.topoDownOK
+		case sameFloatBuffer(priority, s.level) && s.cache.levelOK:
+			buf, ok = &s.orderLevel, &s.cache.topoLevelOK
+		}
+	}
+	if buf == nil {
+		s.rs.Reset(g)
+		s.order = topoOrderByPriority(&s.rs, g, priority, s.order[:0])
+		return s.order
+	}
+	if !s.cache.lookup(s.inst, s.tab.Generation, ok) {
+		s.rs.Reset(g)
+		*buf = topoOrderByPriority(&s.rs, g, priority, (*buf)[:0])
+	}
+	return *buf
+}
+
+// sameFloatBuffer reports whether a and b are views of the identical
+// backing array region (same base pointer, same length) — the memo key
+// test that ties a priority argument back to a scratch-owned rank
+// buffer without comparing values.
+func sameFloatBuffer(a, b []float64) bool {
+	return len(a) > 0 && len(a) == len(b) && &a[0] == &b[0]
 }
 
 // AcquireSchedule pops a spare schedule from the scratch's pool (or
