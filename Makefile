@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race verify bench-smoke bench bench-pisa bench-pisa-full docs-lint
+.PHONY: all build test test-race verify bench-smoke bench bench-pisa bench-pisa-full docs-lint coord-smoke
 
 all: verify
 
@@ -18,19 +18,33 @@ test:
 
 # test-race runs the race detector over every package that spawns
 # goroutines: the worker pool, the parallel PISA/GA chains, the shared
-# scheduler scratch/cache machinery they reuse, and the sweep drivers
-# that compose them. The parallel paths are deterministic by
-# construction (pre-split RNG streams, per-chain scratches, canonical
-# merge), and this is the gate that keeps the construction honest.
+# scheduler scratch/cache machinery they reuse, the sweep drivers that
+# compose them, and the coordinator/worker protocol (heartbeat
+# goroutines, concurrent leases, the in-memory collector). The parallel
+# paths are deterministic by construction (pre-split RNG streams,
+# per-chain scratches, canonical merge), and this is the gate that keeps
+# the construction honest.
 test-race:
-	$(GO) test -race ./internal/runner ./internal/core ./internal/scheduler ./internal/experiments
+	$(GO) test -race ./internal/runner ./internal/core ./internal/scheduler ./internal/experiments ./internal/coord/...
 
 # verify is the tier-1 check: everything builds, every test passes
 # (including under the race detector for the concurrent packages), the
 # hot path still schedules without allocating, the PISA inner loop stays
-# incremental (bit-identical and allocation-free), and every package
-# stays documented.
-verify: build test test-race docs-lint bench-smoke bench-pisa
+# incremental (bit-identical and allocation-free), the process-level
+# coordinator smoke test survives a worker SIGKILL byte-identically, and
+# every package stays documented.
+verify: build test test-race docs-lint bench-smoke bench-pisa coord-smoke
+
+# coord-smoke is the process-level fault drill for the sweep
+# coordinator: it builds the saga binary, starts `saga coordinate` plus
+# three `saga worker -coordinator` processes on a real Fig 4 sweep,
+# SIGKILLs one worker mid-lease, and asserts the finished checkpoint
+# store is byte-identical to the sequential single-process reference.
+# The in-process fault-injection suites in internal/coord run on every
+# plain `make test`; this target exercises the same invariant across
+# real process and socket boundaries.
+coord-smoke:
+	COORD_SMOKE=1 $(GO) test -run TestCoordSmokeE2E -count 1 -v -timeout 300s ./internal/coord/
 
 # docs-lint fails if any internal/* package lacks a package comment
 # ("// Package <name> ..."). Every package must state its role and key

@@ -48,7 +48,7 @@ var (
 	flagWorkers  = flag.Int("workers", 0, "parallel workers for the experiment sweeps (0 = GOMAXPROCS, 1 = sequential)")
 	flagSVGDir   = flag.String("svgdir", "", "also write SVG renderings of grids and Gantt charts here")
 	flagProgress = flag.Bool("progress", false, "report sweep progress on stderr")
-	flagCkpt     = flag.String("checkpoint", "", "checkpoint file for fig4, fig7, fig8 and appspecific (resume an interrupted sweep; for appspecific pin one block with -ccr)")
+	flagCkpt     = flag.String("checkpoint", "", "checkpoint file for fig4, fig7, fig8 and appspecific (resume an interrupted sweep, or render a store written by `saga merge` or `saga coordinate`; for appspecific pin one block with -ccr)")
 	flagShard    = flag.String("shard", "", "run only shard I/C (e.g. 2/8) of a checkpointed sweep; cells stay in the -checkpoint store for `saga merge`")
 	flagChainW   = flag.Int("chain-workers", 0, "parallel workers inside each annealing cell (0 or 1 = sequential; results and fingerprints identical at any count)")
 )

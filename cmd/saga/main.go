@@ -12,14 +12,22 @@
 //	saga pisa -target HEFT -base CPoP          # adversarial search
 //	saga worker -driver fig4 -shard 2/8 -checkpoint s2.json   # one shard
 //	saga merge  -driver fig4 -out merged.json s0.json s1.json # combine
+//	saga coordinate -driver fig4 -checkpoint store.json       # lease cells out
+//	saga worker -coordinator http://host:port                 # compute leases
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
+	"saga/internal/coord"
 	"saga/internal/core"
 	"saga/internal/datasets"
 	"saga/internal/experiments"
@@ -66,6 +74,8 @@ func main() {
 		err = describeCmd(args)
 	case "worker":
 		err = workerCmd(args)
+	case "coordinate":
+		err = coordinateCmd(args)
 	case "merge":
 		err = mergeCmd(args)
 	default:
@@ -97,6 +107,9 @@ commands:
   worker     -driver fig4|fig7|fig8|appspecific|robustness -shard I/C -checkpoint file [-n N] [-seed N]
              [-iters N] [-restarts N] [-workflow w] [-ccr F] [-scheduler s] [-sigma F] [-in file.json]
              [-workers N] [-chain-workers N] [-progress]
+             or: -coordinator http://host:port [-name id] [-workers N] [-progress]   (dynamic leasing)
+  coordinate -driver <name> -checkpoint store.json [-addr host:port] [-lease N] [-lease-ttl D]
+             [-retries N] [-retry-backoff D] [-shuffle-seed N] [-verbose] [sweep flags as for worker]
   merge      -driver <name> -out merged.json [sweep flags as for worker] shard1.json shard2.json ...`)
 }
 
@@ -576,25 +589,60 @@ func sweepFlags(fs *flag.FlagSet) func() (experiments.SweepParams, error) {
 	}
 }
 
-// workerCmd runs one shard of a distributed sweep: only the cells with
-// index ≡ I (mod C) are computed — with their global position-derived
-// seeds — and persisted to this shard's checkpoint store. The in-memory
-// result is deliberately discarded; the store is the shard's output, to
-// be combined by `saga merge`. Killing and restarting a worker with the
-// same flags resumes its own store.
+// workerCmd computes cells of a distributed sweep, in either of two
+// modes. Static sharding (-shard I/C): only the cells with index ≡ I
+// (mod C) are computed — with their global position-derived seeds — and
+// persisted to this shard's checkpoint store; the store is the shard's
+// output, to be combined by `saga merge`. Dynamic leasing
+// (-coordinator URL): the worker fetches the sweep identity from a
+// `saga coordinate` process, leases cell ranges, and delivers results
+// over HTTP — the coordinator owns the one store, reassigns the cells
+// of dead workers, and no merge step is needed. Either way, killing
+// and restarting a worker loses nothing.
 func workerCmd(args []string) error {
 	fs := flag.NewFlagSet("worker", flag.ExitOnError)
-	driver := fs.String("driver", "", "sweep to shard: "+strings.Join(experiments.SweepNames, ", ")+" (required)")
-	shardStr := fs.String("shard", "", "this worker's shard I/C, e.g. 2/8 (required)")
-	ckptPath := fs.String("checkpoint", "", "this shard's checkpoint store (required; one file per shard)")
-	workers := fs.Int("workers", 0, "parallel workers within this shard (0 = GOMAXPROCS)")
-	progress := fs.Bool("progress", false, "report shard progress on stderr")
+	driver := fs.String("driver", "", "sweep to shard: "+strings.Join(experiments.SweepNames, ", ")+" (required unless -coordinator)")
+	shardStr := fs.String("shard", "", "this worker's shard I/C, e.g. 2/8 (required unless -coordinator)")
+	ckptPath := fs.String("checkpoint", "", "this shard's checkpoint store (required unless -coordinator; one file per shard)")
+	coordURL := fs.String("coordinator", "", "coordinator URL (e.g. http://host:port); lease cells dynamically instead of -driver/-shard/-checkpoint")
+	name := fs.String("name", "", "worker name in coordinator logs (default host-pid)")
+	workers := fs.Int("workers", 0, "parallel workers within this shard or lease (0 = GOMAXPROCS)")
+	progress := fs.Bool("progress", false, "report progress on stderr")
 	params := sweepFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *coordURL != "" {
+		if *driver != "" || *shardStr != "" || *ckptPath != "" {
+			return fmt.Errorf("worker: -coordinator replaces -driver, -shard and -checkpoint (the coordinator serves the sweep and owns the store)")
+		}
+		nm := *name
+		if nm == "" {
+			host, err := os.Hostname()
+			if err != nil {
+				host = "worker"
+			}
+			nm = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		wo := coord.WorkerOptions{Name: nm, Workers: *workers}
+		if *progress {
+			wo.Progress = runner.ProgressPrinter(os.Stderr, "worker "+nm)
+		}
+		if err := coord.RunWorker(context.Background(), *coordURL, wo); err != nil {
+			if errors.Is(err, coord.ErrCoordinatorGone) {
+				// The coordinator finished (or crashed; its store resumes).
+				// Either way this worker has nothing left to do — every
+				// delivered cell is already durable on the coordinator side.
+				fmt.Printf("worker: %s stopping: %v\n", nm, err)
+				return nil
+			}
+			return err
+		}
+		fmt.Printf("worker: %s done (sweep finished at %s)\n", nm, *coordURL)
+		return nil
+	}
 	if *driver == "" || *shardStr == "" || *ckptPath == "" {
-		return fmt.Errorf("worker: -driver, -shard and -checkpoint are required")
+		return fmt.Errorf("worker: -driver, -shard and -checkpoint are required (or -coordinator for dynamic leasing)")
 	}
 	shard, err := runner.ParseShard(*shardStr)
 	if err != nil {
@@ -625,6 +673,71 @@ func workerCmd(args []string) error {
 	}
 	fmt.Printf("worker: %s shard %s complete; cells stored in %s (combine with `saga merge -driver %s`)\n",
 		sw.Name, shard, *ckptPath, sw.Name)
+	return nil
+}
+
+// coordinateCmd serves a registered sweep to dynamically leased
+// workers (internal/coord): cells are handed out in ranges, renewed by
+// heartbeat, reclaimed from workers that die or hang, retried with
+// backoff when they fail, and streamed into the one checkpoint store as
+// they complete. The store is the same format `saga worker -shard` and
+// cmd/figures -checkpoint use — when the sweep finishes, render straight
+// from it. Restarting a crashed coordinator on the same store resumes:
+// committed cells are never recomputed.
+func coordinateCmd(args []string) error {
+	fs := flag.NewFlagSet("coordinate", flag.ExitOnError)
+	driver := fs.String("driver", "", "sweep to coordinate: "+strings.Join(experiments.SweepNames, ", ")+" (required)")
+	addr := fs.String("addr", "127.0.0.1:0", "address to serve the protocol on (0 picks a free port, printed at startup)")
+	ckptPath := fs.String("checkpoint", "", "the sweep's checkpoint store (required; resumed if it exists)")
+	leaseSize := fs.Int("lease", 8, "cells per lease")
+	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "lease lifetime without a heartbeat before its cells are reclaimed")
+	retries := fs.Int("retries", 3, "attempts per cell before it is poisoned (reported, excluded, sweep continues)")
+	retryBackoff := fs.Duration("retry-backoff", time.Second, "delay before retrying a failed cell (doubles per attempt)")
+	shuffleSeed := fs.Uint64("shuffle-seed", 0, "lease cells in seed-derived random order (0 = index order; results identical either way)")
+	verbose := fs.Bool("verbose", false, "log every protocol event on stderr")
+	params := sweepFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *driver == "" || *ckptPath == "" {
+		return fmt.Errorf("coordinate: -driver and -checkpoint are required")
+	}
+	p, err := params()
+	if err != nil {
+		return err
+	}
+	opts := coord.Options{
+		LeaseSize:    *leaseSize,
+		LeaseTTL:     *leaseTTL,
+		MaxRetries:   *retries,
+		RetryBackoff: *retryBackoff,
+		ShuffleSeed:  *shuffleSeed,
+	}
+	if *verbose {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	c, err := coord.New(*driver, p, serialize.NewCheckpoint(*ckptPath), opts)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	st := c.Status()
+	fmt.Printf("coordinate: %s (%d cells, %d already in store) on http://%s\n",
+		*driver, st.Cells, st.Committed, ln.Addr())
+	fmt.Printf("coordinate: start workers with `saga worker -coordinator http://%s`\n", ln.Addr())
+	srv := &http.Server{Handler: c}
+	go srv.Serve(ln)
+	defer srv.Close()
+	if err := c.Wait(nil); err != nil {
+		return err
+	}
+	fmt.Printf("coordinate: sweep %s complete; %d cells in %s (render with `figures -checkpoint %s %s`, same sweep flags)\n",
+		*driver, st.Cells, *ckptPath, *ckptPath, *driver)
 	return nil
 }
 

@@ -1,0 +1,345 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"saga/internal/experiments"
+	"saga/internal/runner"
+)
+
+// ErrCoordinatorGone marks a worker giving up because the coordinator
+// stopped answering. A worker holds no durable state — every committed
+// cell already lives in the coordinator's store — so when the
+// coordinator vanishes (finished and exited, or crashed awaiting a
+// restart on its store) the right move is to stop cleanly, not to spin
+// or to fail the operator's pipeline. Callers distinguish this from
+// real worker failures with errors.Is.
+var ErrCoordinatorGone = errors.New("coordinator unreachable")
+
+// WorkerOptions configures RunWorker.
+type WorkerOptions struct {
+	// Name identifies the worker in leases and coordinator logs.
+	Name string
+	// Client issues the HTTP requests (default http.DefaultClient). The
+	// fault-injection harness swaps in a misbehaving transport here.
+	Client *http.Client
+	// Workers bounds the runner pool within each lease (0 = GOMAXPROCS).
+	Workers int
+	// PollInterval is how long to sleep when the coordinator answers
+	// Wait (default 200ms).
+	PollInterval time.Duration
+	// Progress, when non-nil, receives the worker's cumulative progress
+	// pinned to the sweep-wide cell total (runner.LeaseProgress
+	// semantics): reassigned or re-leased cells never double-count.
+	Progress func(done, total int)
+	// OnCellStored, when non-nil, runs after each cell lands in the
+	// worker's local collector. An error simulates sudden worker death:
+	// RunWorker returns immediately without delivering the lease — the
+	// fault-injection harness's kill seam.
+	OnCellStored func(index int) error
+}
+
+// RunWorker joins the coordinator at baseURL and computes leases until
+// the sweep is done. It fetches the sweep identity, rebuilds the sweep
+// locally through experiments.NewSweep, and refuses to compute anything
+// if the local fingerprint or cell count disagrees with the
+// coordinator's — the same stale-parameters guard every checkpoint
+// resume applies.
+//
+// Each lease runs the sweep restricted to the leased cells
+// (runner.Options.Include), with a heartbeat goroutine renewing the
+// lease. Computed cells accumulate in an in-memory collector that
+// persists across leases, so multi-phase drivers (appspecific) compute
+// their unleased benchmark window once per worker and reload it from
+// then on. Per-cell failures are reported, not fatal: the coordinator
+// retries them elsewhere or poisons them. Run-level failures are
+// reported as failures of every unfinished leased cell, so a
+// deterministic driver error poisons its cells instead of livelocking
+// the sweep.
+func RunWorker(ctx context.Context, baseURL string, opts WorkerOptions) error {
+	if opts.Name == "" {
+		opts.Name = "worker"
+	}
+	if opts.Client == nil {
+		opts.Client = http.DefaultClient
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = 200 * time.Millisecond
+	}
+	baseURL = strings.TrimRight(baseURL, "/")
+
+	var info SweepInfo
+	if err := getJSON(ctx, opts.Client, baseURL+"/sweep", &info); err != nil {
+		return fmt.Errorf("coord: worker %s: fetch sweep: %w", opts.Name, err)
+	}
+	sw, err := experiments.NewSweep(info.Name, info.Params)
+	if err != nil {
+		return fmt.Errorf("coord: worker %s: rebuild sweep: %w", opts.Name, err)
+	}
+	if sw.Fingerprint != info.Fingerprint {
+		return fmt.Errorf("coord: worker %s: fingerprint mismatch: coordinator serves\n  %q\nbut these parameters build\n  %q\n— version skew between worker and coordinator binaries?",
+			opts.Name, info.Fingerprint, sw.Fingerprint)
+	}
+	if sw.Cells != info.Cells {
+		return fmt.Errorf("coord: worker %s: cell count mismatch: coordinator %d, local %d",
+			opts.Name, info.Cells, sw.Cells)
+	}
+	heartbeatEvery := time.Duration(info.LeaseTTLMillis) * time.Millisecond / 3
+	if heartbeatEvery <= 0 {
+		heartbeatEvery = time.Second
+	}
+
+	collector := &collectStore{hook: opts.OnCellStored}
+	var lp *runner.LeaseProgress
+	if opts.Progress != nil {
+		lp = runner.NewLeaseProgress(sw.Cells, opts.Progress)
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var lease LeaseResponse
+		if err := postJSONRetry(ctx, opts.Client, baseURL+"/lease", LeaseRequest{Worker: opts.Name}, &lease); err != nil {
+			return fmt.Errorf("coord: worker %s: lease: %w", opts.Name, err)
+		}
+		if lease.Done {
+			return nil
+		}
+		if lease.Wait {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(opts.PollInterval):
+			}
+			continue
+		}
+
+		leased := make(map[int]bool, len(lease.Cells))
+		for _, k := range lease.Cells {
+			leased[k] = true
+		}
+		var failedMu sync.Mutex
+		failed := map[int]string{}
+
+		// Renew the lease while the cells compute. A Cancel answer means
+		// the lease was reclaimed; we finish and deliver anyway — the
+		// completion dedups — but stop renewing.
+		hbCtx, stopHB := context.WithCancel(ctx)
+		var hbWG sync.WaitGroup
+		hbWG.Add(1)
+		go func() {
+			defer hbWG.Done()
+			t := time.NewTicker(heartbeatEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-hbCtx.Done():
+					return
+				case <-t.C:
+					var hb HeartbeatResponse
+					err := postJSON(hbCtx, opts.Client, baseURL+"/heartbeat",
+						HeartbeatRequest{Worker: opts.Name, Lease: lease.Lease}, &hb)
+					if err != nil || hb.Cancel {
+						return
+					}
+				}
+			}
+		}()
+
+		ro := runner.Options{
+			Workers:    opts.Workers,
+			Checkpoint: collector,
+			Include:    func(k int) bool { return leased[k] },
+			OnCellError: func(k int, err error) {
+				failedMu.Lock()
+				failed[k] = err.Error()
+				failedMu.Unlock()
+			},
+		}
+		if lp != nil {
+			ro.Progress = lp.Sweep()
+		}
+		runErr := sw.Run(ro)
+		stopHB()
+		hbWG.Wait()
+
+		fresh := collector.drain()
+		var ke *killedError
+		if errors.As(runErr, &ke) {
+			// Simulated sudden death: no completion, no farewell — exactly
+			// what a SIGKILL looks like to the coordinator.
+			return fmt.Errorf("coord: worker %s killed: %w", opts.Name, ke.err)
+		}
+		if runErr != nil {
+			// A run-level failure (driver setup, an unleased phase) felled
+			// every cell this lease still owed. Report them failed so a
+			// deterministic error converges to poisoned cells instead of
+			// cycling through expiring leases forever.
+			for _, k := range lease.Cells {
+				if _, ok := fresh[k]; ok {
+					continue
+				}
+				if _, ok := failed[k]; ok {
+					continue
+				}
+				failed[k] = runErr.Error()
+			}
+		}
+		var ack CompleteResponse
+		err := postJSONRetry(ctx, opts.Client, baseURL+"/complete",
+			CompleteRequest{Worker: opts.Name, Lease: lease.Lease, Cells: fresh, Failed: failed}, &ack)
+		if err != nil {
+			return fmt.Errorf("coord: worker %s: complete: %w", opts.Name, err)
+		}
+		if ack.Done {
+			// This delivery finished the sweep; exit without another /lease
+			// round trip that would race the coordinator's shutdown.
+			return nil
+		}
+	}
+}
+
+// collectStore is the worker's in-memory runner.Checkpoint: it keeps
+// every cell computed so far (so later leases — and unleased driver
+// phases like the appspecific benchmark — reload instead of recompute)
+// and tracks which cells are new since the last drain, i.e. what the
+// current lease must deliver.
+type collectStore struct {
+	mu    sync.Mutex
+	cells map[int]json.RawMessage
+	fresh map[int]json.RawMessage
+	hook  func(index int) error
+}
+
+func (s *collectStore) Load() (map[int]json.RawMessage, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]json.RawMessage, len(s.cells))
+	for k, v := range s.cells {
+		out[k] = v
+	}
+	return out, nil
+}
+
+func (s *collectStore) Store(index int, cell json.RawMessage) error {
+	s.mu.Lock()
+	if s.cells == nil {
+		s.cells = map[int]json.RawMessage{}
+		s.fresh = map[int]json.RawMessage{}
+	}
+	s.cells[index] = cell
+	s.fresh[index] = cell
+	hook := s.hook
+	s.mu.Unlock()
+	if hook != nil {
+		if err := hook(index); err != nil {
+			return &killedError{err: err}
+		}
+	}
+	return nil
+}
+
+func (s *collectStore) Flush() error { return nil }
+
+// drain returns the cells stored since the previous drain.
+func (s *collectStore) drain() map[int]json.RawMessage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.fresh
+	s.fresh = map[int]json.RawMessage{}
+	return out
+}
+
+// killedError marks a checkpoint-store failure injected by the
+// OnCellStored kill seam, so RunWorker can tell simulated death from a
+// real infrastructure error.
+type killedError struct{ err error }
+
+func (e *killedError) Error() string { return e.err.Error() }
+func (e *killedError) Unwrap() error { return e.err }
+
+func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	return doJSON(client, req, out)
+}
+
+// postJSONRetry is postJSON with a short retry loop for network-level
+// failures, wrapping persistent unreachability in ErrCoordinatorGone.
+// HTTP-level errors (a non-200 status) are answers, not outages, and
+// return immediately.
+func postJSONRetry(ctx context.Context, client *http.Client, url string, in, out any) error {
+	const attempts = 3
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(150 * time.Millisecond):
+			}
+		}
+		err = postJSON(ctx, client, url, in, out)
+		var ne net.Error
+		netFailure := err != nil && (errors.As(err, &ne) || errors.Is(err, io.EOF) || isConnErr(err))
+		if !netFailure {
+			return err
+		}
+	}
+	return fmt.Errorf("%w after %d attempts: %v", ErrCoordinatorGone, attempts, err)
+}
+
+// isConnErr recognizes the connection-level failures a vanished
+// coordinator produces (refused, reset) that do not implement
+// net.Error.
+func isConnErr(err error) bool {
+	var oe *net.OpError
+	if errors.As(err, &oe) {
+		return true
+	}
+	var se *os.SyscallError
+	return errors.As(err, &se)
+}
+
+func postJSON(ctx context.Context, client *http.Client, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return doJSON(client, req, out)
+}
+
+func doJSON(client *http.Client, req *http.Request, out any) error {
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s %s: %s: %s", req.Method, req.URL.Path, resp.Status, strings.TrimSpace(string(data)))
+	}
+	return json.Unmarshal(data, out)
+}

@@ -89,7 +89,11 @@ func (p SweepParams) benchInstances() int {
 // checkpoint cells a complete store holds, the coverage bound for the
 // merge. Run executes the sweep under the given runner options,
 // discarding the partial in-memory result — a shard's output is its
-// checkpoint store.
+// checkpoint store. Run honors ro.Include and ro.OnCellError in
+// store-index space (the same global indices ShardSpec and the
+// checkpoint key on), which is what lets the internal/coord lease
+// protocol restrict a run to leased cells and report per-cell failures
+// without any driver cooperation.
 type Sweep struct {
 	Name        string
 	Fingerprint string

@@ -179,10 +179,12 @@ func PairwisePISARun(scheds []scheduler.Scheduler, opts PairwiseOptions, ro runn
 	}
 	for k, c := range cells {
 		if len(c.Instance) == 0 {
-			if ro.Shard.Owns(k) {
+			// Legitimately absent: another shard's (or lease's) cell, or a
+			// failure already routed through OnCellError.
+			if ro.Owns(k) && ro.OnCellError == nil {
 				return nil, fmt.Errorf("experiments: cell %d has no instance", k)
 			}
-			continue // another shard's cell; only its store has it
+			continue
 		}
 		i, j := runner.OffDiagonal(k, n)
 		inst, err := serialize.UnmarshalInstance(c.Instance)
@@ -301,8 +303,11 @@ func RobustnessRun(inst *graph.Instance, s scheduler.Scheduler, sigma float64, n
 	static := make([]float64, 0, n)
 	adaptive := make([]float64, 0, n)
 	for k, c := range cells {
-		if !ro.Shard.Owns(k) {
-			continue // summaries over this shard's samples only
+		if !ro.Owns(k) {
+			continue // summaries over this run's samples only
+		}
+		if ro.OnCellError != nil && c == (robustCell{}) {
+			continue // the failure was reported; keep it out of the summary
 		}
 		static = append(static, c.Static)
 		adaptive = append(adaptive, c.Adaptive)
@@ -365,13 +370,19 @@ func AppSpecificRun(scheds []scheduler.Scheduler, opts AppSpecificOptions, ro ru
 	}
 
 	// Benchmarking row + observed weight ranges, one cell per instance.
-	// This phase always runs unsharded: the merged min/max ranges below
-	// parameterize every PISA cell's perturbation space, so each shard
-	// needs all of them to stay bit-identical to the sequential
-	// reference. The cells are deterministic, so the identical copies
-	// the shards store are deduplicated by serialize.MergeCheckpoints.
+	// This phase always runs unsharded and unleased: the merged min/max
+	// ranges below parameterize every PISA cell's perturbation space, so
+	// each shard (or coordinator worker) needs all of them to stay
+	// bit-identical to the sequential reference. The cells are
+	// deterministic, so the identical copies the shards store are
+	// deduplicated by serialize.MergeCheckpoints (and by the
+	// coordinator's commit dedup). A bench-cell failure is never routed
+	// through OnCellError either — a missing range sample would silently
+	// reshape every PISA cell, so it must abort this run instead.
 	benchRO := ro
 	benchRO.Shard = runner.ShardSpec{}
+	benchRO.Include = nil
+	benchRO.OnCellError = nil
 	nBench := opts.BenchmarkInstances
 	if nBench <= 0 {
 		nBench = 20
@@ -437,6 +448,16 @@ func AppSpecificRun(scheds []scheduler.Scheduler, opts AppSpecificOptions, ro ru
 	if pisaRO.Checkpoint != nil {
 		pisaRO.Checkpoint = runner.OffsetCheckpoint(ro.Checkpoint, nBench)
 	}
+	// Include and OnCellError address cells in *store* index space (the
+	// space leases and shard stores share), so the PISA phase — whose
+	// Map-local cell k lives at store index k+nBench — translates both,
+	// exactly mirroring the OffsetCheckpoint window above.
+	if ro.Include != nil {
+		pisaRO.Include = func(k int) bool { return ro.Include(k + nBench) }
+	}
+	if ro.OnCellError != nil {
+		pisaRO.OnCellError = func(k int, err error) { ro.OnCellError(k+nBench, err) }
+	}
 	baseSeed := opts.Anneal.Seed
 	pisaCells, err := runner.MapState(n*(n-1), pisaRO, scheduler.NewScratch,
 		func(k int, scr *scheduler.Scratch) (pisaCell, error) {
@@ -479,10 +500,10 @@ func AppSpecificRun(scheds []scheduler.Scheduler, opts AppSpecificOptions, ro ru
 	}
 	for k, c := range pisaCells {
 		if len(c.Instance) == 0 {
-			if ro.Shard.Owns(k) {
+			if pisaRO.Owns(k) && ro.OnCellError == nil {
 				return nil, fmt.Errorf("experiments: cell %d has no instance", k)
 			}
-			continue // another shard's cell; only its store has it
+			continue // another shard's/lease's cell, or a reported failure
 		}
 		i, j := runner.OffDiagonal(k, n)
 		inst, err := serialize.UnmarshalInstance(c.Instance)

@@ -4,8 +4,68 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"time"
 )
+
+// LeaseProgress pins progress totals for dynamically leased work: a
+// coordinator worker (internal/coord) runs one small Map per lease, but
+// its operator wants one monotonic count against the sweep's full cell
+// total — not a fresh 0/leaseSize readout per lease, and no
+// double-counting when a lease resumes cells the worker already
+// computed (or when a multi-phase driver reloads a shared store).
+//
+// Construct one per worker session with the sweep's total, then pass a
+// fresh Sweep() callback into every Map run (every lease). Each inner
+// sweep's first callback is its baseline — Map guarantees the first
+// call reports the load/restriction state before any cell computes —
+// and only cells completed past that baseline advance the pinned
+// counter. A mid-sweep regression of done re-baselines, mirroring
+// ProgressPrinter's multi-phase treatment, so drivers that multiplex
+// several Maps through one Options (AppSpecificRun) stay counted
+// correctly too.
+type LeaseProgress struct {
+	mu    sync.Mutex
+	total int
+	done  int
+	p     func(done, total int)
+}
+
+// NewLeaseProgress wraps p — typically a ProgressPrinter — so every
+// report carries the pinned total and the cumulative count of cells
+// this worker computed across all its leases.
+func NewLeaseProgress(total int, p func(done, total int)) *LeaseProgress {
+	return &LeaseProgress{total: total, p: p}
+}
+
+// Done returns the cumulative number of cells counted so far.
+func (lp *LeaseProgress) Done() int {
+	lp.mu.Lock()
+	defer lp.mu.Unlock()
+	return lp.done
+}
+
+// Sweep returns a Progress callback for one inner sweep (one lease).
+// Do not share one callback across sweeps: the baseline is per-sweep.
+func (lp *LeaseProgress) Sweep() func(done, total int) {
+	started := false
+	last := 0
+	return func(done, _ int) {
+		lp.mu.Lock()
+		defer lp.mu.Unlock()
+		if !started || done < last {
+			// Baseline: the sweep's opening report (loaded cells, or 0),
+			// or a new phase of a multi-Map driver. Nothing new computed.
+			started = true
+			last = done
+			lp.p(lp.done, lp.total)
+			return
+		}
+		lp.done += done - last
+		last = done
+		lp.p(lp.done, lp.total)
+	}
+}
 
 // ProgressPrinter returns a Progress callback that reports each
 // completed cell to w with completion count, throughput, and a

@@ -203,15 +203,18 @@ func TestProgressPrinterThroughRunner(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
-	if len(lines) != 16 {
-		t.Fatalf("got %d progress lines, want 16", len(lines))
+	if len(lines) != 17 { // the 0/16 baseline plus one line per cell
+		t.Fatalf("got %d progress lines, want 17", len(lines))
+	}
+	if lines[0] != "sweep: 0/16 cells" {
+		t.Fatalf("baseline line = %q, want the sweep's starting position", lines[0])
 	}
 	for i, line := range lines {
 		if !strings.HasPrefix(line, "sweep: ") || !strings.Contains(line, "cells") {
 			t.Fatalf("line %d malformed: %q", i, line)
 		}
 	}
-	if !strings.Contains(lines[15], "16/16 cells") || !strings.Contains(lines[15], "done in") {
-		t.Fatalf("final line %q does not report completion", lines[15])
+	if !strings.Contains(lines[16], "16/16 cells") || !strings.Contains(lines[16], "done in") {
+		t.Fatalf("final line %q does not report completion", lines[16])
 	}
 }

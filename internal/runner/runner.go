@@ -52,6 +52,30 @@ type Options struct {
 	// Shard, when enabled, restricts the sweep to this process's slice of
 	// the cells (see ShardSpec). The zero value runs every cell.
 	Shard ShardSpec
+	// Include, when non-nil, further restricts the sweep to the cells for
+	// which it returns true — the dynamic counterpart of Shard, used by
+	// the coordinator protocol (internal/coord) to run exactly one leased
+	// cell set. Like sharding, it never changes what an included cell
+	// computes: indices and seeds stay global, so a leased cell is
+	// bit-identical to the same cell of a full run. Excluded cells keep
+	// their zero values (unless the checkpoint store supplies them) and
+	// are not counted in Progress totals.
+	Include func(index int) bool
+	// OnCellError, when non-nil, turns per-cell failures from sweep
+	// aborts into reports: a failing cell (error or recovered panic) is
+	// passed to the callback, keeps its zero value, is not checkpointed,
+	// and counts toward Progress; the sweep continues. Calls are
+	// serialized by the pool. Checkpoint I/O failures still abort the
+	// sweep — they are infrastructure errors, not cell results.
+	OnCellError func(index int, err error)
+}
+
+// Owns reports whether this run computes cell k: the cell must belong
+// to the shard and pass the Include filter. Drivers use it to tell a
+// legitimately absent cell (another shard's, or outside the lease) from
+// a missing result.
+func (o Options) Owns(k int) bool {
+	return o.Shard.Owns(k) && (o.Include == nil || o.Include(k))
 }
 
 // ShardSpec assigns one process its slice of a distributed sweep: a
@@ -232,15 +256,15 @@ func MapState[T, S any](n int, opts Options, newState func() S, fn func(index in
 	}
 
 	// done marks cells this process will not compute: another shard's
-	// cells up front, then everything the checkpoint already holds.
-	// total counts the cells this shard owns — the denominator Progress
-	// reports.
+	// (or another lease's) cells up front, then everything the checkpoint
+	// already holds. total counts the cells this run owns — the
+	// denominator Progress reports.
 	done := make([]bool, n)
 	completed := 0
 	total := n
-	if opts.Shard.Enabled() {
+	if opts.Shard.Enabled() || opts.Include != nil {
 		for k := 0; k < n; k++ {
-			if !opts.Shard.Owns(k) {
+			if !opts.Owns(k) {
 				done[k] = true
 				total--
 			}
@@ -265,9 +289,14 @@ func MapState[T, S any](n int, opts Options, newState func() S, fn func(index in
 				completed++
 			}
 		}
-		if opts.Progress != nil && completed > 0 {
-			opts.Progress(completed, total)
-		}
+	}
+	// The baseline call: every sweep with owned cells reports its
+	// starting position exactly once before any cell computes — the cells
+	// a resumed run loaded from the store, or a bare 0. Consumers
+	// (ProgressPrinter, LeaseProgress) rely on the first call of a sweep
+	// being this baseline, never a computed cell.
+	if opts.Progress != nil && total > 0 {
+		opts.Progress(completed, total)
 	}
 
 	workers := opts.Workers
@@ -303,6 +332,20 @@ func MapState[T, S any](n int, opts Options, newState func() S, fn func(index in
 				mu.Unlock()
 
 				v, err := runCell(k, state, fn)
+				if err != nil && opts.OnCellError != nil {
+					// Graceful degradation: the failure is reported, the
+					// cell stays zero-valued and unstored, and the sweep
+					// keeps going. The cell still counts as handled so a
+					// lease's progress can reach its total.
+					mu.Lock()
+					opts.OnCellError(k, err)
+					completed++
+					if opts.Progress != nil {
+						opts.Progress(completed, total)
+					}
+					mu.Unlock()
+					continue
+				}
 				if err == nil && opts.Checkpoint != nil {
 					var raw json.RawMessage
 					if raw, err = json.Marshal(v); err == nil {

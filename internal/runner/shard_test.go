@@ -110,7 +110,7 @@ func TestMapShardedProgressCountsOwnedCells(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := [][2]int{{1, 3}, {2, 3}, {3, 3}}
+	want := [][2]int{{0, 3}, {1, 3}, {2, 3}, {3, 3}} // baseline, then one per owned cell
 	if len(calls) != len(want) {
 		t.Fatalf("progress calls %v, want %v", calls, want)
 	}
@@ -140,14 +140,14 @@ func TestMapShardedProgressPrinterTotals(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if len(lines) != 3 {
-		t.Fatalf("printed %d lines, want one per owned cell:\n%s", len(lines), buf.String())
+	if len(lines) != 4 { // the 0/3 baseline plus one line per owned cell
+		t.Fatalf("printed %d lines, want baseline + one per owned cell:\n%s", len(lines), buf.String())
 	}
 	for i, line := range lines {
 		if !strings.HasPrefix(line, "worker test 1/4: ") {
 			t.Fatalf("line %d missing label: %q", i, line)
 		}
-		if !strings.Contains(line, fmt.Sprintf("%d/3 cells", i+1)) {
+		if !strings.Contains(line, fmt.Sprintf("%d/3 cells", i)) {
 			t.Fatalf("line %d does not count against the shard's 3 owned cells: %q", i, line)
 		}
 		if strings.Contains(line, "/10") {

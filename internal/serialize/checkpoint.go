@@ -1,6 +1,7 @@
 package serialize
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -80,7 +81,13 @@ func (c *Checkpoint) Load() (map[int]json.RawMessage, error) {
 	}
 	var cf checkpointFile
 	if err := json.Unmarshal(data, &cf); err != nil {
-		return nil, fmt.Errorf("serialize: checkpoint %s: %w", c.path, err)
+		// Atomic rename makes a torn write unlikely, but stores can still
+		// arrive truncated or corrupt (a crash mid-copy between machines,
+		// a full disk, a worker killed while streaming its store over the
+		// network). Name the file and say what to do — never let a bad
+		// store surface as a bare decode failure three layers up.
+		return nil, fmt.Errorf("serialize: checkpoint %s is corrupt or truncated (%d bytes): %w — a crash mid-write? delete it (or restore it from the worker that wrote it) and re-run",
+			c.path, len(data), err)
 	}
 	if cf.Fingerprint != c.fingerprint {
 		return nil, fmt.Errorf("serialize: checkpoint %s was written by a different sweep (%q, want %q) — delete it or pass a fresh path",
@@ -113,6 +120,47 @@ func (c *Checkpoint) Store(index int, cell json.RawMessage) error {
 		return c.writeLocked()
 	}
 	return nil
+}
+
+// StoreDedup records one completed cell, tolerating duplicate
+// completions: a cell already present with byte-identical content is a
+// no-op (stored = false), while a cell present with *different* bytes
+// is an error — the sweep is deterministic, so a disagreeing duplicate
+// means the result came from a different sweep (or a corrupted worker)
+// and must never silently overwrite the committed value. This is the
+// commit primitive of the coordinator protocol (internal/coord), where
+// reclaimed leases and duplicated deliveries make redundant completions
+// routine.
+func (c *Checkpoint) StoreDedup(index int, cell json.RawMessage) (stored bool, err error) {
+	c.mu.Lock()
+	if prev, ok := c.cells[index]; ok {
+		c.mu.Unlock()
+		if !bytes.Equal(prev, cell) {
+			return false, fmt.Errorf("serialize: checkpoint %s: duplicate completion of cell %d disagrees with the committed value (%d vs %d bytes) — results from a different sweep?",
+				c.path, index, len(cell), len(prev))
+		}
+		return false, nil
+	}
+	c.mu.Unlock()
+	return true, c.Store(index, cell)
+}
+
+// PeekFingerprint reads only the fingerprint of the store at path,
+// without binding a Checkpoint to it or validating its cells. Merge
+// uses it to diagnose mixed-sweep shards with both fingerprints in
+// hand; an unreadable or corrupt store fails with the same per-file
+// diagnostics Load gives.
+func PeekFingerprint(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var cf checkpointFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return "", fmt.Errorf("serialize: checkpoint %s is corrupt or truncated (%d bytes): %w — a crash mid-write? delete it (or restore it from the worker that wrote it) and re-run",
+			path, len(data), err)
+	}
+	return cf.Fingerprint, nil
 }
 
 // Flush implements runner.Checkpoint: it persists any cells not yet on

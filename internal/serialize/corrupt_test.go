@@ -1,0 +1,179 @@
+package serialize
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCheckpointLoadTruncationTorture truncates a real multi-cell
+// fingerprinted store at every byte boundary and demands that Load
+// either succeeds on the full file or fails with the per-file
+// corruption diagnostic — never a panic, never a silently short store.
+// This is the failure a coordinator sees when a worker dies while its
+// store is being copied off the machine.
+func TestCheckpointLoadTruncationTorture(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.ckpt")
+	const fp = "fig4 seed=1 iters=100"
+	ck := NewCheckpoint(full)
+	ck.SetFingerprint(fp)
+	if _, err := ck.Load(); err != nil {
+		t.Fatal(err)
+	}
+	ck.SetFlushEvery(10)
+	for k := 0; k < 8; k++ {
+		cell := fmt.Sprintf(`{"makespan":%d.5,"sched":"heft-%d"}`, 100+k, k)
+		if err := ck.Store(k, json.RawMessage(cell)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ck.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 100 {
+		t.Fatalf("store implausibly small (%d bytes); torture would prove nothing", len(data))
+	}
+
+	trunc := filepath.Join(dir, "trunc.ckpt")
+	for n := 0; n <= len(data); n++ {
+		if err := os.WriteFile(trunc, data[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c := NewCheckpoint(trunc)
+		c.SetFingerprint(fp)
+		cells, err := c.Load()
+		if n == len(data) {
+			if err != nil || len(cells) != 8 {
+				t.Fatalf("full file failed to load: %d cells, %v", len(cells), err)
+			}
+			continue
+		}
+		if err == nil {
+			// A strict prefix of a JSON object is never valid JSON, so any
+			// clean load of truncated bytes means Load silently accepted a
+			// short store.
+			t.Fatalf("truncation to %d of %d bytes loaded cleanly (%d cells)", n, len(data), len(cells))
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, trunc) {
+			t.Fatalf("truncation to %d bytes: error does not name the file: %v", n, err)
+		}
+		if !strings.Contains(msg, "corrupt or truncated") {
+			t.Fatalf("truncation to %d bytes: error lacks the corruption diagnostic: %v", n, err)
+		}
+		if !strings.Contains(msg, fmt.Sprintf("(%d bytes)", n)) {
+			t.Fatalf("truncation to %d bytes: error does not report the observed size: %v", n, err)
+		}
+	}
+}
+
+// TestPeekFingerprintMatchesLoadDiagnostics pins that the merge-path
+// fingerprint probe reports corruption with the same per-file
+// diagnostic Load gives, and reads fingerprints without mutating the
+// store.
+func TestPeekFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	good := writeShard(t, dir, "good.json", "robustness seed=7", map[int]string{0: `1`})
+	fp, err := PeekFingerprint(good)
+	if err != nil || fp != "robustness seed=7" {
+		t.Fatalf("peek: %q, %v", fp, err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"cells":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = PeekFingerprint(bad)
+	if err == nil || !strings.Contains(err.Error(), bad) || !strings.Contains(err.Error(), "corrupt or truncated") {
+		t.Fatalf("peek of corrupt store: %v", err)
+	}
+	if _, err := PeekFingerprint(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("peek of absent store succeeded")
+	}
+}
+
+// TestMergeCheckpointsFingerprintMismatchNamesBothSweeps pins the
+// operator-facing diagnostic: when a foreign shard sneaks into a merge,
+// the error must carry the offending path, both full fingerprint
+// strings, and — once another shard has matched — the path of a store
+// that agrees with the expected sweep, so the operator can tell at a
+// glance which file is the odd one out.
+func TestMergeCheckpointsFingerprintMismatchNamesBothSweeps(t *testing.T) {
+	dir := t.TempDir()
+	const want = "fig4 seed=1 iters=100 rho=0.5"
+	const got = "fig4 seed=1 iters=500 rho=0.5"
+	s0 := writeShard(t, dir, "s0.json", want, map[int]string{0: `1`})
+	s1 := writeShard(t, dir, "s1.json", got, map[int]string{1: `2`})
+	out := filepath.Join(dir, "merged.json")
+
+	_, err := MergeCheckpoints(out, want, 2, []string{s0, s1})
+	if err == nil {
+		t.Fatal("foreign shard accepted")
+	}
+	msg := err.Error()
+	for _, needle := range []string{s1, want, got, s0} {
+		if !strings.Contains(msg, needle) {
+			t.Fatalf("mismatch error missing %q:\n%v", needle, err)
+		}
+	}
+	if strings.Contains(msg[:strings.Index(msg, "was written by")], s0) {
+		t.Fatalf("error blames the matching shard, not the foreign one:\n%v", err)
+	}
+
+	// When the *first* shard mismatches, no store has vouched for the
+	// expected fingerprint yet — the provenance must fall back to the
+	// merge's own flags rather than naming a store that was never read.
+	_, err = MergeCheckpoints(out, want, 2, []string{s1, s0})
+	if err == nil {
+		t.Fatal("foreign first shard accepted")
+	}
+	msg = err.Error()
+	for _, needle := range []string{s1, want, got, "flags"} {
+		if !strings.Contains(msg, needle) {
+			t.Fatalf("first-shard mismatch error missing %q:\n%v", needle, err)
+		}
+	}
+	if strings.Contains(msg, s0) {
+		t.Fatalf("error names a shard that was never fingerprint-checked:\n%v", err)
+	}
+}
+
+// TestStoreDedup pins the coordinator's commit primitive: identical
+// duplicate completions are no-ops, disagreeing ones are refused with
+// the committed value left untouched.
+func TestStoreDedup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dedup.ckpt")
+	ck := NewCheckpoint(path)
+	if _, err := ck.Load(); err != nil {
+		t.Fatal(err)
+	}
+	stored, err := ck.StoreDedup(4, json.RawMessage(`{"v":1}`))
+	if err != nil || !stored {
+		t.Fatalf("first completion: stored=%v, %v", stored, err)
+	}
+	// A reclaimed lease re-delivering the same bytes must be silent.
+	stored, err = ck.StoreDedup(4, json.RawMessage(`{"v":1}`))
+	if err != nil || stored {
+		t.Fatalf("identical duplicate: stored=%v, %v", stored, err)
+	}
+	// A disagreeing duplicate is a determinism violation, never an
+	// overwrite.
+	stored, err = ck.StoreDedup(4, json.RawMessage(`{"v":2}`))
+	if err == nil || stored {
+		t.Fatalf("conflicting duplicate accepted: stored=%v, %v", stored, err)
+	}
+	if !strings.Contains(err.Error(), "cell 4") || !strings.Contains(err.Error(), path) {
+		t.Fatalf("conflict error lacks cell/path: %v", err)
+	}
+	cells, err := NewCheckpoint(path).Load()
+	if err != nil || string(cells[4]) != `{"v":1}` {
+		t.Fatalf("committed value disturbed: %v, %v", cells, err)
+	}
+}

@@ -31,6 +31,7 @@ func MergeCheckpoints(outPath, fingerprint string, total int, shardPaths []strin
 	}
 	merged := map[int]json.RawMessage{}
 	owner := map[int]string{}
+	matched := "" // first store whose fingerprint matched, for diagnostics
 	for _, path := range shardPaths {
 		if _, err := os.Stat(path); err != nil {
 			// Load treats an absent file as an empty store (right for
@@ -38,6 +39,24 @@ func MergeCheckpoints(outPath, fingerprint string, total int, shardPaths []strin
 			// silently shrink the merge).
 			return 0, fmt.Errorf("serialize: merge: shard store %s: %w", path, err)
 		}
+		// Check the fingerprint before loading so a mismatch names both
+		// sweeps and both files: the operator's question is never "is
+		// this store wrong" but "which shard came from the wrong sweep",
+		// and answering it needs the offending path, the expected
+		// fingerprint's provenance, and both fingerprint strings in full.
+		got, err := PeekFingerprint(path)
+		if err != nil {
+			return 0, fmt.Errorf("serialize: merge: %w", err)
+		}
+		if got != fingerprint {
+			source := "the sweep flags given to the merge"
+			if matched != "" {
+				source = fmt.Sprintf("%s (and the sweep flags)", matched)
+			}
+			return 0, fmt.Errorf("serialize: merge: fingerprint mismatch: %s was written by sweep\n  %q\nbut %s identifies sweep\n  %q\n— this shard belongs to a different sweep; re-run it with matching flags or drop it from the merge",
+				path, got, source, fingerprint)
+		}
+		matched = path
 		ck := NewCheckpoint(path)
 		ck.SetFingerprint(fingerprint)
 		cells, err := ck.Load()
