@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race verify bench-smoke bench bench-pisa bench-pisa-full docs-lint coord-smoke
+.PHONY: all build test test-race verify bench-smoke bench bench-pisa bench-pisa-full docs-lint coord-smoke serve-smoke bench-serve fuzz-short cover
 
 all: verify
 
@@ -25,15 +25,18 @@ test:
 # per-chain scratches, canonical merge), and this is the gate that keeps
 # the construction honest.
 test-race:
-	$(GO) test -race ./internal/runner ./internal/core ./internal/scheduler ./internal/experiments ./internal/coord/...
+	$(GO) test -race ./internal/runner ./internal/core ./internal/scheduler ./internal/experiments ./internal/coord/... ./internal/serve ./internal/httpx
 
 # verify is the tier-1 check: everything builds, every test passes
 # (including under the race detector for the concurrent packages), the
 # hot path still schedules without allocating, the PISA inner loop stays
 # incremental (bit-identical and allocation-free), the process-level
-# coordinator smoke test survives a worker SIGKILL byte-identically, and
-# every package stays documented.
-verify: build test test-race docs-lint bench-smoke bench-pisa coord-smoke
+# coordinator smoke test survives a worker SIGKILL byte-identically, the
+# scheduling daemon answers byte-identically to the library and drains
+# gracefully (serve-smoke + bench-serve), the wfformat ingestion path
+# survives a bounded fuzz run, per-package coverage stays above the
+# COVER_BASELINE floors, and every package stays documented.
+verify: build test test-race docs-lint bench-smoke bench-pisa coord-smoke serve-smoke bench-serve fuzz-short cover
 
 # coord-smoke is the process-level fault drill for the sweep
 # coordinator: it builds the saga binary, starts `saga coordinate` plus
@@ -45,6 +48,45 @@ verify: build test test-race docs-lint bench-smoke bench-pisa coord-smoke
 # real process and socket boundaries.
 coord-smoke:
 	COORD_SMOKE=1 $(GO) test -run TestCoordSmokeE2E -count 1 -v -timeout 300s ./internal/coord/
+
+# serve-smoke is the process-level drill for the scheduling daemon: it
+# builds the saga binary, boots a real `saga serve`, fires concurrent
+# schedule/portfolio/robustness requests (plus one malformed, refused
+# without collateral), asserts every response byte-identical to direct
+# in-process library calls, then SIGTERMs the daemon mid-request and
+# checks the graceful drain: the in-flight request completes, new
+# connections are refused, the process exits 0.
+serve-smoke:
+	SERVE_SMOKE=1 $(GO) test -run TestServeSmokeE2E -count 1 -v -timeout 300s ./internal/serve/
+
+# bench-serve is the daemon load gate: 8 concurrent clients against a
+# live server, every response byte-verified, client-observed p50/p99
+# reported and sanity-bounded. The committed measurement lives in
+# BENCH_serve.json; re-measure with SERVE_BENCH_OUT=BENCH_serve.json
+# prepended (see EXPERIMENTS.md).
+bench-serve:
+	SERVE_BENCH_GATE=1 $(GO) test -run TestServeLoadGate -count 1 -v -timeout 300s ./internal/serve/
+
+# fuzz-short runs the wfformat ingestion fuzzer (Parse → ToTaskGraph →
+# ToNetwork → Validate → Marshal round trip must never panic) for a
+# bounded slice of CI time, seeded from the committed fixtures in
+# internal/wfc/testdata/.
+fuzz-short:
+	$(GO) test -fuzz FuzzParse -fuzztime 10s -run '^$$' ./internal/wfc/
+
+# cover enforces the per-package statement-coverage floors in
+# COVER_BASELINE: `go test -cover` over the whole module, then every
+# listed package must meet its floor. Keeps the serve/coord protocol
+# surfaces from growing untested handlers.
+cover:
+	@$(GO) test -cover ./... > .cover.tmp; status=$$?; cat .cover.tmp; \
+	if [ $$status -ne 0 ]; then rm -f .cover.tmp; exit $$status; fi; \
+	awk 'NR==FNR { if ($$0 !~ /^#/ && NF==2) floor[$$1]=$$2; next } \
+		($$2 in floor) && /coverage:/ { seen[$$2]=1; pct=$$0; sub(/.*coverage: /,"",pct); sub(/%.*/,"",pct); \
+			if (pct+0 < floor[$$2]+0) { printf "cover: %s at %s%% — below the %s%% floor in COVER_BASELINE\n", $$2, pct, floor[$$2]; bad=1 } \
+			else { printf "cover: %s at %s%% (floor %s%%)\n", $$2, pct, floor[$$2] } } \
+		END { for (p in floor) if (!(p in seen)) { printf "cover: no coverage line for %s\n", p; bad=1 }; exit bad }' \
+		COVER_BASELINE .cover.tmp; status=$$?; rm -f .cover.tmp; exit $$status
 
 # docs-lint fails if any internal/* package lacks a package comment
 # ("// Package <name> ..."). Every package must state its role and key

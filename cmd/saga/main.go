@@ -24,7 +24,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"saga/internal/coord"
@@ -38,6 +40,7 @@ import (
 	"saga/internal/scheduler"
 	"saga/internal/schedulers"
 	"saga/internal/serialize"
+	"saga/internal/serve"
 	"saga/internal/sim"
 	"saga/internal/wfc"
 )
@@ -72,6 +75,8 @@ func main() {
 		err = benchmarkCmd(args)
 	case "describe":
 		err = describeCmd(args)
+	case "serve":
+		err = serveCmd(args)
 	case "worker":
 		err = workerCmd(args)
 	case "coordinate":
@@ -95,10 +100,11 @@ commands:
   list       list the implemented scheduling algorithms (Table I)
   datasets   list the available dataset generators (Table II)
   generate   -dataset <name> [-seed N] [-out file.json]
-  schedule   -scheduler <name> -in file.json [-gantt]
+  schedule   -scheduler <name> -in file.json [-gantt] [-server URL]
+  serve      [-addr host:port] [-max-concurrent N] [-queue-timeout D] [-cache N] [-workers N] [-drain-timeout D] [-verbose]
   pisa       -target <name> -base <name> [-method sa|ga] [-iters N] [-restarts N] [-seed N] [-workers N] [-out file.json]
-  portfolio  -k N [-schedulers a,b,c] [-iters N] [-restarts N] [-seed N] [-workers N]
-  robustness -scheduler <name> -in file.json [-sigma F] [-n N] [-seed N] [-workers N] [-checkpoint file] [-shard I/C]
+  portfolio  -k N [-schedulers a,b,c] [-iters N] [-restarts N] [-seed N] [-workers N] [-server URL]
+  robustness -scheduler <name> -in file.json [-sigma F] [-n N] [-seed N] [-workers N] [-checkpoint file] [-shard I/C] [-server URL]
   convert    -from-wfc wf.json [-link F] [-ccr F] -out inst.json   (wfformat -> instance)
              -from-instance inst.json -out wf.json                 (instance -> wfformat)
   simulate   -scheduler <name> -in file.json [-contention]
@@ -171,11 +177,39 @@ func scheduleCmd(args []string) error {
 	name := fs.String("scheduler", "HEFT", "scheduler name")
 	in := fs.String("in", "", "instance JSON file (required)")
 	gantt := fs.Bool("gantt", true, "render an ASCII Gantt chart")
+	server := fs.String("server", "", "daemon URL (e.g. http://host:port); schedule via `saga serve` instead of in-process")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("schedule: -in is required")
+	}
+	if *server != "" {
+		// Thin-client mode: the daemon computes, this process renders. The
+		// daemon's response is byte-identical to the in-process path below
+		// (internal/serve identity suite), so the printed output matches.
+		raw, err := os.ReadFile(*in)
+		if err != nil {
+			return err
+		}
+		inst, err := serialize.UnmarshalInstance(raw)
+		if err != nil {
+			return err
+		}
+		c := &serve.Client{BaseURL: strings.TrimRight(*server, "/")}
+		resp, err := c.Schedule(context.Background(), serve.ScheduleRequest{Scheduler: *name, Instance: raw})
+		if err != nil {
+			return err
+		}
+		sch, err := serialize.UnmarshalSchedule(resp.Schedule)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s makespan: %.6f\n", resp.Scheduler, resp.Makespan)
+		if *gantt {
+			fmt.Print(render.Gantt(inst, sch, 72))
+		}
+		return nil
 	}
 	inst, err := serialize.LoadInstance(*in)
 	if err != nil {
@@ -194,6 +228,61 @@ func scheduleCmd(args []string) error {
 		fmt.Print(render.Gantt(inst, sch, 72))
 	}
 	return nil
+}
+
+// serveCmd runs the scheduling daemon (internal/serve): schedule,
+// portfolio and robustness requests over HTTP with per-request scratch
+// leasing, instance caching, bounded admission and /metrics. SIGINT or
+// SIGTERM drains in-flight requests (new ones are refused immediately)
+// and exits cleanly.
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "address to serve on (port 0 picks a free port, printed at startup)")
+	maxConc := fs.Int("max-concurrent", 0, "requests computed concurrently (0 = GOMAXPROCS)")
+	queueTimeout := fs.Duration("queue-timeout", 2*time.Second, "how long a request may wait for a slot before 503")
+	cacheEntries := fs.Int("cache", 64, "instance cache entries (content-hash keyed, LRU)")
+	workers := fs.Int("workers", 1, "runner workers inside one portfolio/robustness request (results identical at any count)")
+	drain := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+	verbose := fs.Bool("verbose", false, "log every request on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := serve.Options{
+		MaxConcurrent: *maxConc,
+		QueueTimeout:  *queueTimeout,
+		CacheEntries:  *cacheEntries,
+		Workers:       *workers,
+	}
+	if *verbose {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	srv := serve.New(opts)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serve: listening on http://%s\n", ln.Addr())
+	fmt.Printf("serve: POST /v1/schedule /v1/portfolio /v1/robustness; GET /metrics /healthz\n")
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case got := <-sig:
+		fmt.Printf("serve: %v: draining in-flight requests (up to %s)\n", got, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return fmt.Errorf("serve: drain: %w", err)
+		}
+		fmt.Println("serve: drained, exiting")
+		return nil
+	}
 }
 
 func pisaCmd(args []string) error {
@@ -276,12 +365,31 @@ func portfolioCmd(args []string) error {
 	restarts := fs.Int("restarts", 2, "PISA restarts per pair")
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	server := fs.String("server", "", "daemon URL; run the grid on `saga serve` instead of in-process")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	nameList := strings.Split(*names, ",")
+	for i := range nameList {
+		nameList[i] = strings.TrimSpace(nameList[i])
+	}
+	if *server != "" {
+		c := &serve.Client{BaseURL: strings.TrimRight(*server, "/")}
+		resp, err := c.Portfolio(context.Background(), serve.PortfolioRequest{
+			Schedulers: nameList, K: *k, Iters: *iters, Restarts: *restarts, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("pairwise PISA grid (row = base, column = analyzed):")
+		fmt.Print(render.Grid("", resp.Schedulers, resp.Schedulers, resp.Ratios))
+		fmt.Printf("\nbest %d-scheduler portfolio: %s (combined worst-case ratio %s)\n",
+			*k, strings.Join(resp.Members, " + "), render.Cell(resp.WorstRatio))
+		return nil
+	}
 	var scheds []scheduler.Scheduler
-	for _, n := range strings.Split(*names, ",") {
-		s, err := scheduler.New(strings.TrimSpace(n))
+	for _, n := range nameList {
+		s, err := scheduler.New(n)
 		if err != nil {
 			return err
 		}
@@ -316,6 +424,7 @@ func robustnessCmd(args []string) error {
 	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	ckptPath := fs.String("checkpoint", "", "checkpoint file (resume an interrupted jitter sweep)")
 	shardStr := fs.String("shard", "", "compute only shard I/C of the jitter samples (requires -checkpoint; combine with `saga merge -driver robustness`)")
+	server := fs.String("server", "", "daemon URL; run the jitter sweep on `saga serve` instead of in-process")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -325,6 +434,24 @@ func robustnessCmd(args []string) error {
 	raw, err := os.ReadFile(*in)
 	if err != nil {
 		return err
+	}
+	if *server != "" {
+		if *ckptPath != "" || *shardStr != "" {
+			return fmt.Errorf("robustness: -server is incompatible with -checkpoint/-shard (the daemon owns the computation)")
+		}
+		c := &serve.Client{BaseURL: strings.TrimRight(*server, "/")}
+		resp, err := c.Robustness(context.Background(), serve.RobustnessRequest{
+			Scheduler: *name, Instance: raw, Sigma: *sigma, N: *n, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s nominal makespan: %.4f\n", resp.Scheduler, resp.Nominal)
+		fmt.Printf("static replay under +/-%.0f%% cost jitter (n=%d): mean %.4f  p50 %.4f  max %.4f\n",
+			*sigma*100, resp.Static.N, resp.Static.Mean, resp.Static.Median, resp.Static.Max)
+		fmt.Printf("adaptive re-planning:                              mean %.4f  p50 %.4f  max %.4f\n",
+			resp.Adaptive.Mean, resp.Adaptive.Median, resp.Adaptive.Max)
+		return nil
 	}
 	ro := runner.Options{Workers: *workers}
 	sharded := *shardStr != ""

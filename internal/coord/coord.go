@@ -33,13 +33,13 @@ package coord
 import (
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"sort"
 	"sync"
 	"time"
 
 	"saga/internal/experiments"
+	"saga/internal/httpx"
 	"saga/internal/rng"
 	"saga/internal/serialize"
 )
@@ -564,19 +564,11 @@ func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, c.Status())
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
-}
+// writeJSON and readJSON are the shared JSON framing helpers; the
+// protocol dialect (200+JSON or non-200+plain text, bounded bodies)
+// lives in internal/httpx so the scheduling daemon speaks it too.
+func writeJSON(w http.ResponseWriter, v any) { httpx.WriteJSON(w, v) }
 
 func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
-	if err == nil {
-		err = json.Unmarshal(body, v)
-	}
-	if err != nil {
-		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
-		return false
-	}
-	return true
+	return httpx.ReadJSON(w, r, v)
 }

@@ -1,0 +1,182 @@
+package coord
+
+// Satellite: table-driven error-path coverage for the coordinator's
+// HTTP handlers. The happy paths and fault schedules live in
+// coord_test.go / fault_test.go; this file pins down the protocol's
+// refusals — malformed frames, out-of-range cells, determinism
+// violations, stale leases — each of which must answer the documented
+// status without wedging the ledger.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"saga/internal/experiments"
+)
+
+// postBody posts raw bytes (not necessarily valid JSON) and returns the
+// status code.
+func postBody(t *testing.T, srv *httptest.Server, path, body string) int {
+	t.Helper()
+	resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func TestHandlersRejectMalformedJSON(t *testing.T) {
+	_, srv, _ := testCoord(t, 4, Options{})
+	for _, path := range []string{"/lease", "/heartbeat", "/complete"} {
+		for _, body := range []string{`{"worker": `, `]`, `"just a string"`} {
+			if got := postBody(t, srv, path, body); got != http.StatusBadRequest {
+				t.Errorf("POST %s %q: status %d, want 400", path, body, got)
+			}
+		}
+	}
+	// The ledger must be untouched: a full sweep's worth of cells still
+	// leasable.
+	lease := post[LeaseResponse](t, srv, "/lease", LeaseRequest{Worker: "w"})
+	if len(lease.Cells) != 4 {
+		t.Fatalf("after malformed frames, lease granted %v, want all 4 cells", lease.Cells)
+	}
+}
+
+func TestCompleteRejectsOutOfRangeCells(t *testing.T) {
+	cases := []struct {
+		name string
+		req  CompleteRequest
+	}{
+		{"committed cell above range", CompleteRequest{Worker: "w", Cells: map[int]json.RawMessage{99: json.RawMessage(`{}`)}}},
+		{"committed cell below range", CompleteRequest{Worker: "w", Cells: map[int]json.RawMessage{-1: json.RawMessage(`{}`)}}},
+		{"failed cell above range", CompleteRequest{Worker: "w", Failed: map[int]string{99: "boom"}}},
+		{"failed cell below range", CompleteRequest{Worker: "w", Failed: map[int]string{-1: "boom"}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, srv, _ := testCoord(t, 4, Options{})
+			lease := post[LeaseResponse](t, srv, "/lease", LeaseRequest{Worker: "w"})
+			tc.req.Lease = lease.Lease
+			if _, status := postStatus[CompleteResponse](t, srv, "/complete", tc.req); status != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", status)
+			}
+			// A refused delivery is not fatal and commits nothing.
+			st := c.Status()
+			if st.Committed != 0 || st.Poisoned != 0 || st.Done {
+				t.Fatalf("refused delivery moved the ledger: %+v", st)
+			}
+		})
+	}
+}
+
+func TestDisagreeingDuplicateCompletionIsFatal409(t *testing.T) {
+	c, srv, _ := testCoord(t, 2, Options{})
+	lease := post[LeaseResponse](t, srv, "/lease", LeaseRequest{Worker: "w1"})
+
+	first := CompleteRequest{Worker: "w1", Lease: lease.Lease,
+		Cells: map[int]json.RawMessage{0: json.RawMessage(`{"makespan":1}`)}}
+	if resp := post[CompleteResponse](t, srv, "/complete", first); !resp.OK {
+		t.Fatalf("first delivery refused: %+v", resp)
+	}
+
+	// An identical duplicate — late redelivery from a reclaimed lease —
+	// dedups to a no-op.
+	dup := CompleteRequest{Worker: "w2", Lease: "L-gone",
+		Cells: map[int]json.RawMessage{0: json.RawMessage(`{"makespan":1}`)}}
+	if _, status := postStatus[CompleteResponse](t, srv, "/complete", dup); status != http.StatusOK {
+		t.Fatalf("identical duplicate: status %d, want 200", status)
+	}
+
+	// A disagreeing duplicate is a determinism violation: 409, and the
+	// sweep parks fatally rather than racing to overwrite.
+	bad := CompleteRequest{Worker: "w2", Lease: "L-gone",
+		Cells: map[int]json.RawMessage{0: json.RawMessage(`{"makespan":2}`)}}
+	if _, status := postStatus[CompleteResponse](t, srv, "/complete", bad); status != http.StatusConflict {
+		t.Fatalf("disagreeing duplicate: status %d, want 409", status)
+	}
+
+	// Fatal means done: further leases are turned away and Wait surfaces
+	// the violation.
+	if l := post[LeaseResponse](t, srv, "/lease", LeaseRequest{Worker: "w3"}); !l.Done {
+		t.Fatalf("lease after fatal: %+v, want Done", l)
+	}
+	err := c.Wait(nil)
+	if err == nil || !strings.Contains(err.Error(), "w2") {
+		t.Fatalf("Wait after fatal = %v, want the offending worker named", err)
+	}
+}
+
+func TestHeartbeatStaleLeaseCancels(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	_, srv, _ := testCoord(t, 4, Options{LeaseTTL: 10 * time.Second, Now: clock.Now})
+
+	// Unknown lease id: cancel immediately.
+	hb := post[HeartbeatResponse](t, srv, "/heartbeat", HeartbeatRequest{Worker: "w", Lease: "L999"})
+	if !hb.Cancel || hb.OK {
+		t.Fatalf("unknown lease heartbeat: %+v, want Cancel", hb)
+	}
+
+	// A live lease renews…
+	lease := post[LeaseResponse](t, srv, "/lease", LeaseRequest{Worker: "w"})
+	hb = post[HeartbeatResponse](t, srv, "/heartbeat", HeartbeatRequest{Worker: "w", Lease: lease.Lease})
+	if !hb.OK || hb.Cancel {
+		t.Fatalf("live lease heartbeat: %+v, want OK", hb)
+	}
+
+	// …until the TTL lapses without one: the lease is reaped and the
+	// next heartbeat tells the worker to stop renewing.
+	clock.Advance(11 * time.Second)
+	hb = post[HeartbeatResponse](t, srv, "/heartbeat", HeartbeatRequest{Worker: "w", Lease: lease.Lease})
+	if !hb.Cancel || hb.OK {
+		t.Fatalf("expired lease heartbeat: %+v, want Cancel", hb)
+	}
+
+	// The reaped cells are leasable again — expiry is not a failure.
+	l2 := post[LeaseResponse](t, srv, "/lease", LeaseRequest{Worker: "w2"})
+	if len(l2.Cells) != 4 {
+		t.Fatalf("cells after reap: %v, want all 4 re-leasable", l2.Cells)
+	}
+}
+
+func TestWorkerRefusesMismatchedSweep(t *testing.T) {
+	// Build the true SweepInfo the way a coordinator would…
+	sw, err := experiments.NewSweep("fig7", experiments.SweepParams{N: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveInfo := func(info SweepInfo) *httptest.Server {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /sweep", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, info)
+		})
+		srv := httptest.NewServer(mux)
+		t.Cleanup(srv.Close)
+		return srv
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// …then serve it with a skewed fingerprint: the worker must refuse
+	// before computing anything.
+	srv := serveInfo(SweepInfo{Name: sw.Name, Params: experiments.SweepParams{N: 4, Seed: 1},
+		Fingerprint: sw.Fingerprint + "-skewed", Cells: sw.Cells})
+	err = RunWorker(ctx, srv.URL, WorkerOptions{Name: "w"})
+	if err == nil || !strings.Contains(err.Error(), "fingerprint mismatch") {
+		t.Fatalf("RunWorker against skewed fingerprint = %v, want fingerprint mismatch", err)
+	}
+
+	// Cell-count skew is refused the same way.
+	srv = serveInfo(SweepInfo{Name: sw.Name, Params: experiments.SweepParams{N: 4, Seed: 1},
+		Fingerprint: sw.Fingerprint, Cells: sw.Cells + 1})
+	err = RunWorker(ctx, srv.URL, WorkerOptions{Name: "w"})
+	if err == nil || !strings.Contains(err.Error(), "cell count mismatch") {
+		t.Fatalf("RunWorker against skewed cell count = %v, want cell count mismatch", err)
+	}
+}

@@ -1,20 +1,17 @@
 package coord
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
-	"net"
 	"net/http"
-	"os"
 	"strings"
 	"sync"
 	"time"
 
 	"saga/internal/experiments"
+	"saga/internal/httpx"
 	"saga/internal/runner"
 )
 
@@ -271,17 +268,13 @@ func (e *killedError) Error() string { return e.err.Error() }
 func (e *killedError) Unwrap() error { return e.err }
 
 func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return err
-	}
-	return doJSON(client, req, out)
+	return httpx.GetJSON(ctx, client, url, out)
 }
 
-// postJSONRetry is postJSON with a short retry loop for network-level
-// failures, wrapping persistent unreachability in ErrCoordinatorGone.
-// HTTP-level errors (a non-200 status) are answers, not outages, and
-// return immediately.
+// postJSONRetry is httpx.PostJSON with a short retry loop for
+// network-level failures, wrapping persistent unreachability in
+// ErrCoordinatorGone. HTTP-level errors (a non-200 status) are answers,
+// not outages, and return immediately.
 func postJSONRetry(ctx context.Context, client *http.Client, url string, in, out any) error {
 	const attempts = 3
 	var err error
@@ -293,53 +286,14 @@ func postJSONRetry(ctx context.Context, client *http.Client, url string, in, out
 			case <-time.After(150 * time.Millisecond):
 			}
 		}
-		err = postJSON(ctx, client, url, in, out)
-		var ne net.Error
-		netFailure := err != nil && (errors.As(err, &ne) || errors.Is(err, io.EOF) || isConnErr(err))
-		if !netFailure {
+		err = httpx.PostJSON(ctx, client, url, in, out)
+		if err == nil || !httpx.IsConnErr(err) {
 			return err
 		}
 	}
 	return fmt.Errorf("%w after %d attempts: %v", ErrCoordinatorGone, attempts, err)
 }
 
-// isConnErr recognizes the connection-level failures a vanished
-// coordinator produces (refused, reset) that do not implement
-// net.Error.
-func isConnErr(err error) bool {
-	var oe *net.OpError
-	if errors.As(err, &oe) {
-		return true
-	}
-	var se *os.SyscallError
-	return errors.As(err, &se)
-}
-
 func postJSON(ctx context.Context, client *http.Client, url string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return doJSON(client, req, out)
-}
-
-func doJSON(client *http.Client, req *http.Request, out any) error {
-	resp, err := client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%s %s: %s: %s", req.Method, req.URL.Path, resp.Status, strings.TrimSpace(string(data)))
-	}
-	return json.Unmarshal(data, out)
+	return httpx.PostJSON(ctx, client, url, in, out)
 }

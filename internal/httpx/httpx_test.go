@@ -1,0 +1,117 @@
+package httpx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var in payload
+		if !ReadJSON(w, r, &in) {
+			return
+		}
+		in.N++
+		WriteJSON(w, in)
+	}))
+	defer srv.Close()
+
+	var out payload
+	err := PostJSON(context.Background(), http.DefaultClient, srv.URL, payload{Name: "x", N: 1}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "x" || out.N != 2 {
+		t.Fatalf("round trip: %+v", out)
+	}
+}
+
+func TestWriteJSONFraming(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteJSON(rec, payload{Name: "a", N: 7})
+	// The single response-encoding path: compact JSON plus exactly one
+	// trailing newline — the framing the serve byte-identity suite
+	// builds its expectations on.
+	if got, want := rec.Body.String(), `{"name":"a","n":7}`+"\n"; got != want {
+		t.Fatalf("framing: %q, want %q", got, want)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+}
+
+func TestReadJSONRejectsMalformed(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var in payload
+		if !ReadJSON(w, r, &in) {
+			return
+		}
+		WriteJSON(w, in)
+	}))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL, "application/json", strings.NewReader(`{"name": `))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestDoJSONStatusError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "teapot refuses", http.StatusTeapot)
+	}))
+	defer srv.Close()
+
+	var out payload
+	err := GetJSON(context.Background(), http.DefaultClient, srv.URL+"/brew", &out)
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v (%T), want *StatusError", err, err)
+	}
+	if se.Code != http.StatusTeapot || se.Body != "teapot refuses" || se.Path != "/brew" || se.Method != "GET" {
+		t.Fatalf("status error fields: %+v", se)
+	}
+	if msg := se.Error(); !strings.Contains(msg, "teapot refuses") || !strings.Contains(msg, "/brew") {
+		t.Fatalf("error text drops context: %q", msg)
+	}
+	if IsConnErr(err) {
+		t.Fatal("a non-200 answer is not a connection error")
+	}
+}
+
+func TestIsConnErr(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close() // gone: dials now fail
+
+	var out payload
+	err := GetJSON(context.Background(), http.DefaultClient, srv.URL, &out)
+	if err == nil {
+		t.Fatal("GET against a closed server succeeded")
+	}
+	if !IsConnErr(err) {
+		t.Fatalf("refused connection not recognized: %v", err)
+	}
+	if IsConnErr(io.EOF) != true {
+		t.Fatal("io.EOF (server died mid-response) must count as a connection error")
+	}
+	if IsConnErr(fmt.Errorf("some app error")) {
+		t.Fatal("plain errors must not count as connection errors")
+	}
+	if IsConnErr(nil) {
+		t.Fatal("nil is not a connection error")
+	}
+}

@@ -1,0 +1,49 @@
+package scheduler
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ScratchPool leases Scratch values to short-lived owners — the
+// scheduling daemon's request handlers (internal/serve) lease one per
+// request the way runner.MapState hands one per worker goroutine. The
+// ownership rule is unchanged: between Get and Put the scratch belongs
+// to exactly one goroutine; Put transfers ownership back and the caller
+// must not touch the scratch again.
+//
+// Reuse across unrelated owners is safe by construction, not by
+// clearing: every memoized value in a Scratch (tables, rank vectors,
+// topo orders) is keyed on the instance pointer and table generation it
+// was computed for, so a scratch that last served instance A can serve
+// instance B next with no bleed — the first Tables call rebuilds, and
+// Build bumps the generation that guards every cached rank. The
+// concurrency suite in internal/serve hammers exactly this property
+// under the race detector.
+type ScratchPool struct {
+	pool  sync.Pool
+	fresh atomic.Uint64
+}
+
+// Get leases a scratch, allocating a fresh one when the pool is empty.
+func (p *ScratchPool) Get() *Scratch {
+	if s, ok := p.pool.Get().(*Scratch); ok {
+		return s
+	}
+	p.fresh.Add(1)
+	return NewScratch()
+}
+
+// Put returns a leased scratch for reuse. The caller must own s and
+// must not use it afterwards.
+func (p *ScratchPool) Put(s *Scratch) {
+	if s == nil {
+		return
+	}
+	p.pool.Put(s)
+}
+
+// Fresh reports how many scratches Get allocated because the pool was
+// empty — the daemon's /metrics surfaces it so a steady-state serving
+// process can prove its request path stopped allocating scratch state.
+func (p *ScratchPool) Fresh() uint64 { return p.fresh.Load() }

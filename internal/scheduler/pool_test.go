@@ -1,0 +1,49 @@
+package scheduler
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestScratchPoolReuseAndFreshCount(t *testing.T) {
+	var p ScratchPool
+	s1 := p.Get()
+	if s1 == nil {
+		t.Fatal("Get returned nil")
+	}
+	if got := p.Fresh(); got != 1 {
+		t.Fatalf("fresh after first Get = %d, want 1", got)
+	}
+	p.Put(s1)
+	s2 := p.Get()
+	if s2 != s1 {
+		t.Error("pool did not hand back the released scratch")
+	}
+	if got := p.Fresh(); got != 1 {
+		t.Fatalf("fresh after reuse = %d, want 1", got)
+	}
+	p.Put(nil) // tolerated no-op
+}
+
+func TestScratchPoolConcurrentGetPut(t *testing.T) {
+	var p ScratchPool
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s := p.Get()
+				if s == nil {
+					t.Error("nil scratch from pool")
+					return
+				}
+				p.Put(s)
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Fresh() > 800 {
+		t.Fatalf("fresh counter %d exceeds total Gets", p.Fresh())
+	}
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+
+	"saga/internal/httpx"
+	"saga/internal/stats"
+)
+
+// ScheduleRequest asks the daemon to schedule one instance. The
+// instance arrives either in the repo's serialize format (Instance) or
+// as a WfCommons wfformat document (WfC) with the same import knobs as
+// `saga convert`: a uniform link strength, an optional homogeneous CCR
+// override, and a fallback network size when the trace lists no
+// machines. Exactly one of Instance and WfC must be set.
+type ScheduleRequest struct {
+	Scheduler string          `json:"scheduler"`
+	Instance  json.RawMessage `json:"instance,omitempty"`
+	WfC       json.RawMessage `json:"wfc,omitempty"`
+	Link      float64         `json:"link,omitempty"`
+	CCR       float64         `json:"ccr,omitempty"`
+	Nodes     int             `json:"nodes,omitempty"`
+}
+
+// ScheduleResponse carries the schedule in the serialize format, so a
+// thin client renders exactly what a local `saga schedule` would. The
+// body is byte-identical to one built from a direct in-process
+// Schedule() call on the same input — the identity suite enforces it.
+type ScheduleResponse struct {
+	Scheduler string          `json:"scheduler"`
+	Makespan  float64         `json:"makespan"`
+	Schedule  json.RawMessage `json:"schedule"`
+}
+
+// PortfolioRequest asks for a pairwise PISA grid over the named
+// schedulers and the best k-subset portfolio drawn from it. Iters,
+// Restarts and Seed parameterize the per-pair annealing exactly as
+// `saga portfolio` does; results are independent of how many workers
+// the daemon runs the grid with (ARCHITECTURE invariant 6).
+type PortfolioRequest struct {
+	Schedulers []string `json:"schedulers"`
+	K          int      `json:"k"`
+	Iters      int      `json:"iters,omitempty"`
+	Restarts   int      `json:"restarts,omitempty"`
+	Seed       uint64   `json:"seed,omitempty"`
+}
+
+// PortfolioResponse is the grid plus the selected portfolio. Ratios is
+// row-major with base schedulers as rows and analyzed schedulers as
+// columns; unknown cells (the diagonal) are -1, matching
+// experiments.PairwiseResult.
+type PortfolioResponse struct {
+	Schedulers []string    `json:"schedulers"`
+	Ratios     [][]float64 `json:"ratios"`
+	Members    []string    `json:"members"`
+	WorstRatio float64     `json:"worst_ratio"`
+}
+
+// RobustnessRequest asks for a PISA robustness report: n jittered
+// replays of the scheduler's committed schedule versus clairvoyant
+// re-planning, with relative cost jitter sigma. The instance arrives
+// like ScheduleRequest's.
+type RobustnessRequest struct {
+	Scheduler string          `json:"scheduler"`
+	Instance  json.RawMessage `json:"instance,omitempty"`
+	WfC       json.RawMessage `json:"wfc,omitempty"`
+	Link      float64         `json:"link,omitempty"`
+	CCR       float64         `json:"ccr,omitempty"`
+	Nodes     int             `json:"nodes,omitempty"`
+	Sigma     float64         `json:"sigma,omitempty"`
+	N         int             `json:"n,omitempty"`
+	Seed      uint64          `json:"seed,omitempty"`
+}
+
+// RobustnessResponse mirrors experiments.RobustnessResult.
+type RobustnessResponse struct {
+	Scheduler string        `json:"scheduler"`
+	Nominal   float64       `json:"nominal"`
+	Static    stats.Summary `json:"static"`
+	Adaptive  stats.Summary `json:"adaptive"`
+}
+
+// Client is the thin client the CLI subcommands (and the e2e/load
+// harnesses) speak to a running daemon with. The zero HTTPClient means
+// http.DefaultClient.
+type Client struct {
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+func (c *Client) client() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Schedule submits a ScheduleRequest.
+func (c *Client) Schedule(ctx context.Context, req ScheduleRequest) (*ScheduleResponse, error) {
+	var resp ScheduleResponse
+	if err := httpx.PostJSON(ctx, c.client(), c.BaseURL+"/v1/schedule", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Portfolio submits a PortfolioRequest.
+func (c *Client) Portfolio(ctx context.Context, req PortfolioRequest) (*PortfolioResponse, error) {
+	var resp PortfolioResponse
+	if err := httpx.PostJSON(ctx, c.client(), c.BaseURL+"/v1/portfolio", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Robustness submits a RobustnessRequest.
+func (c *Client) Robustness(ctx context.Context, req RobustnessRequest) (*RobustnessResponse, error) {
+	var resp RobustnessResponse
+	if err := httpx.PostJSON(ctx, c.client(), c.BaseURL+"/v1/robustness", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Metrics fetches the daemon's /metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (*MetricsSnapshot, error) {
+	var snap MetricsSnapshot
+	if err := httpx.GetJSON(ctx, c.client(), c.BaseURL+"/metrics", &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}

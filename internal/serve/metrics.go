@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// latencyBuckets is the number of power-of-two microsecond histogram
+// buckets: bucket i counts requests with latency < 2^i microseconds,
+// the last bucket is the overflow. 2^26 µs ≈ 67 s, far beyond any
+// admission-timeout-bounded request.
+const latencyBuckets = 27
+
+// endpointMetrics is one endpoint's counters. Latencies go into a
+// fixed-size log2 histogram, so recording is O(1), lock-cheap, and the
+// snapshot can answer quantiles without retaining samples.
+type endpointMetrics struct {
+	count   uint64
+	errors  uint64
+	buckets [latencyBuckets]uint64
+	totalUS uint64
+}
+
+func (m *endpointMetrics) record(d time.Duration, failed bool) {
+	m.count++
+	if failed {
+		m.errors++
+	}
+	us := uint64(d.Microseconds())
+	m.totalUS += us
+	b := 0
+	for v := us; v > 0 && b < latencyBuckets-1; v >>= 1 {
+		b++
+	}
+	m.buckets[b]++
+}
+
+// quantile returns the upper bound (in milliseconds) of the histogram
+// bucket where the cumulative count crosses q — an upper estimate with
+// at most 2x resolution error, plenty for p50/p99 dashboards.
+func (m *endpointMetrics) quantile(q float64) float64 {
+	if m.count == 0 {
+		return 0
+	}
+	want := uint64(q * float64(m.count))
+	if want < 1 {
+		want = 1
+	}
+	var cum uint64
+	for i, n := range m.buckets {
+		cum += n
+		if cum >= want {
+			return float64(uint64(1)<<uint(i)) / 1000.0
+		}
+	}
+	return float64(uint64(1)<<uint(latencyBuckets-1)) / 1000.0
+}
+
+// Metrics aggregates the daemon's observability counters. One mutex
+// guards everything: request recording is a few integer ops, far off
+// the scheduling hot path.
+type Metrics struct {
+	mu        sync.Mutex
+	start     time.Time
+	endpoints map[string]*endpointMetrics
+	rejected  uint64
+	inflight  int
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{start: time.Now(), endpoints: map[string]*endpointMetrics{}}
+}
+
+func (m *Metrics) record(endpoint string, d time.Duration, failed bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em := m.endpoints[endpoint]
+	if em == nil {
+		em = &endpointMetrics{}
+		m.endpoints[endpoint] = em
+	}
+	em.record(d, failed)
+}
+
+func (m *Metrics) reject() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) addInflight(delta int) {
+	m.mu.Lock()
+	m.inflight += delta
+	m.mu.Unlock()
+}
+
+// EndpointStats is one endpoint's snapshot.
+type EndpointStats struct {
+	Count  uint64  `json:"count"`
+	Errors uint64  `json:"errors"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// CacheStats is the instance cache's snapshot.
+type CacheStats struct {
+	Entries     int    `json:"entries"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Evictions   uint64 `json:"evictions"`
+	TableReuses uint64 `json:"table_reuses"`
+}
+
+// PoolStats is the scratch pool's snapshot.
+type PoolStats struct {
+	FreshScratches uint64 `json:"fresh_scratches"`
+	Leases         uint64 `json:"leases"`
+}
+
+// AdmissionStats is the bounded-worker-pool snapshot.
+type AdmissionStats struct {
+	MaxConcurrent int    `json:"max_concurrent"`
+	Inflight      int    `json:"inflight"`
+	Rejected      uint64 `json:"rejected"`
+}
+
+// MetricsSnapshot is the GET /metrics payload.
+type MetricsSnapshot struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	Cache         CacheStats               `json:"cache"`
+	Pool          PoolStats                `json:"pool"`
+	Admission     AdmissionStats           `json:"admission"`
+}
+
+func (m *Metrics) snapshot() (out map[string]EndpointStats, rejected uint64, inflight int, uptime float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out = make(map[string]EndpointStats, len(m.endpoints))
+	for name, em := range m.endpoints {
+		es := EndpointStats{
+			Count:  em.count,
+			Errors: em.errors,
+			P50MS:  em.quantile(0.50),
+			P90MS:  em.quantile(0.90),
+			P99MS:  em.quantile(0.99),
+		}
+		if em.count > 0 {
+			es.MeanMS = float64(em.totalUS) / float64(em.count) / 1000.0
+		}
+		out[name] = es
+	}
+	return out, m.rejected, m.inflight, time.Since(m.start).Seconds()
+}

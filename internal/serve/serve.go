@@ -1,0 +1,450 @@
+// Package serve is the scheduling-as-a-service daemon behind `saga
+// serve`: a long-running HTTP server that accepts a DAG + network (or a
+// WfCommons wfformat instance) and answers with a schedule, a portfolio
+// recommendation, or a PISA robustness report. The batch CLIs stay
+// intact as the library path; `saga schedule/portfolio/robustness
+// -server URL` become thin clients of this daemon.
+//
+// The request path leans on the repo's established ownership rules
+// (ARCHITECTURE invariant 8):
+//
+//   - Per-request Scratch leasing. Every schedule request leases one
+//     scheduler.Scratch — from the instance cache when the instance was
+//     seen before (tables prebuilt, zero graph.Tables work), else from a
+//     sync.Pool — and owns it exclusively until the response is
+//     written. Cross-request bleed is impossible by construction: every
+//     memoized value in a Scratch is keyed on (instance pointer, table
+//     generation).
+//   - Content-hash instance caching. Submissions are keyed by the hash
+//     of their compacted payload bytes; a hit shares the parsed
+//     instance pointer (read-only from then on) and skips parse,
+//     validation, and table builds.
+//   - Bounded admission. At most MaxConcurrent requests compute at
+//     once; excess requests wait up to QueueTimeout, then are refused
+//     with 503 — load sheds at the door instead of thrashing the
+//     scheduler.
+//   - Observability. GET /metrics reports request counts, latency
+//     quantiles, cache hit rates, scratch-pool stats, and admission
+//     counters as JSON.
+//
+// Responses are byte-identical to direct in-process library calls on
+// the same input for all three request kinds — the identity suite and
+// the serve-smoke e2e drill both enforce it.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"saga/internal/core"
+	"saga/internal/datasets"
+	"saga/internal/experiments"
+	"saga/internal/graph"
+	"saga/internal/httpx"
+	"saga/internal/runner"
+	"saga/internal/scheduler"
+	"saga/internal/serialize"
+	"saga/internal/wfc"
+)
+
+// Options tunes the daemon. The zero value is usable: every field has a
+// default.
+type Options struct {
+	// MaxConcurrent bounds how many requests compute at once (default
+	// GOMAXPROCS). Admission is the daemon's only queue; each admitted
+	// request runs its experiment with Workers sequential workers.
+	MaxConcurrent int
+	// QueueTimeout is how long an over-admission request waits for a
+	// slot before being refused with 503 (default 2s).
+	QueueTimeout time.Duration
+	// CacheEntries bounds the instance cache (default 64 entries, LRU).
+	CacheEntries int
+	// Workers is the runner worker count inside one portfolio or
+	// robustness request (default 1: concurrent requests are the
+	// parallelism axis; results are identical at any value).
+	Workers int
+	// MaxRobustnessN caps RobustnessRequest.N (default 100000).
+	MaxRobustnessN int
+	// MaxPISAIters caps PortfolioRequest.Iters (default 100000).
+	MaxPISAIters int
+	// Logf, when non-nil, receives one line per request.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueTimeout <= 0 {
+		o.QueueTimeout = 2 * time.Second
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 64
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.MaxRobustnessN <= 0 {
+		o.MaxRobustnessN = 100000
+	}
+	if o.MaxPISAIters <= 0 {
+		o.MaxPISAIters = 100000
+	}
+	return o
+}
+
+// Server is the daemon. It is an http.Handler; serve it wherever
+// convenient (net/http behind `saga serve`, httptest in the suites).
+type Server struct {
+	opts    Options
+	pool    scheduler.ScratchPool
+	cache   *instanceCache
+	metrics *Metrics
+	sem     chan struct{}
+	leases  atomic.Uint64
+	mux     *http.ServeMux
+}
+
+// New builds a daemon with the given options.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		cache:   newInstanceCache(opts.CacheEntries, opts.MaxConcurrent),
+		metrics: newMetrics(),
+		sem:     make(chan struct{}, opts.MaxConcurrent),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/schedule", s.admit("schedule", s.handleSchedule))
+	s.mux.HandleFunc("POST /v1/portfolio", s.admit("portfolio", s.handlePortfolio))
+	s.mux.HandleFunc("POST /v1/robustness", s.admit("robustness", s.handleRobustness))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		httpx.WriteJSON(w, map[string]bool{"ok": true})
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// statusRecorder lets the admission wrapper see whether the handler
+// answered an error status, for the per-endpoint error counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// admit is the bounded worker pool: an http middleware acquiring one of
+// MaxConcurrent slots, waiting at most QueueTimeout, refusing with 503
+// when the daemon is saturated. It also records the endpoint's count,
+// error count, and latency.
+func (s *Server) admit(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			t := time.NewTimer(s.opts.QueueTimeout)
+			defer t.Stop()
+			select {
+			case s.sem <- struct{}{}:
+			case <-t.C:
+				s.metrics.reject()
+				http.Error(w, fmt.Sprintf("server saturated: %d requests in flight, none finished within %s",
+					s.opts.MaxConcurrent, s.opts.QueueTimeout), http.StatusServiceUnavailable)
+				return
+			case <-r.Context().Done():
+				s.metrics.reject()
+				http.Error(w, "client gave up while queued", http.StatusServiceUnavailable)
+				return
+			}
+		}
+		defer func() { <-s.sem }()
+		s.metrics.addInflight(1)
+		defer s.metrics.addInflight(-1)
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		d := time.Since(start)
+		s.metrics.record(name, d, rec.status != http.StatusOK)
+		s.logf("serve: %s %d %s", name, rec.status, d)
+	}
+}
+
+// instanceFor resolves a request's instance: cache hit, or parse +
+// validate + insert. The returned scratch is non-nil only on a cache
+// hit that also had a parked scratch (tables prebuilt); the caller
+// still owns releasing whatever scratch it ends up using.
+func (s *Server) instanceFor(w http.ResponseWriter, instRaw, wfcRaw json.RawMessage, link, ccr float64, nodes int) (*cacheEntry, *scheduler.Scratch, bool) {
+	var key string
+	switch {
+	case len(instRaw) > 0 && len(wfcRaw) > 0:
+		http.Error(w, "instance and wfc are mutually exclusive", http.StatusBadRequest)
+		return nil, nil, false
+	case len(instRaw) > 0:
+		key = hashKey(compactBytes(instRaw))
+	case len(wfcRaw) > 0:
+		key = hashKey(compactBytes(wfcRaw),
+			[]byte(strconv.FormatFloat(link, 'g', -1, 64)),
+			[]byte(strconv.FormatFloat(ccr, 'g', -1, 64)),
+			[]byte(strconv.Itoa(nodes)))
+	default:
+		http.Error(w, "one of instance or wfc is required", http.StatusBadRequest)
+		return nil, nil, false
+	}
+	if entry, scr := s.cache.lookup(key); entry != nil {
+		return entry, scr, true
+	}
+	var inst *graph.Instance
+	var err error
+	if len(instRaw) > 0 {
+		inst, err = serialize.UnmarshalInstance(instRaw)
+	} else {
+		inst, err = instanceFromWfC(wfcRaw, link, ccr, nodes)
+	}
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad instance: %v", err), http.StatusBadRequest)
+		return nil, nil, false
+	}
+	return s.cache.insert(key, inst), nil, true
+}
+
+// compactBytes canonicalizes JSON payload whitespace so the cache key
+// survives re-indentation of the same document.
+func compactBytes(raw json.RawMessage) []byte {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return raw
+	}
+	return buf.Bytes()
+}
+
+// instanceFromWfC imports a wfformat document exactly as `saga convert
+// -from-wfc` does: uniform link strength, machines from the trace or a
+// unit network of the given size, optional homogeneous-CCR override.
+func instanceFromWfC(raw []byte, link, ccr float64, nodes int) (*graph.Instance, error) {
+	doc, err := wfc.Parse(raw)
+	if err != nil {
+		return nil, err
+	}
+	g, err := doc.ToTaskGraph()
+	if err != nil {
+		return nil, err
+	}
+	if link <= 0 {
+		link = 1
+	}
+	if nodes <= 0 {
+		nodes = 4
+	}
+	net := doc.ToNetwork(link)
+	if net == nil {
+		net = graph.NewNetwork(nodes)
+		for u := 0; u < nodes; u++ {
+			for v := u + 1; v < nodes; v++ {
+				net.SetLink(u, v, link)
+			}
+		}
+	}
+	inst := graph.NewInstance(g, net)
+	if ccr > 0 {
+		datasets.SetHomogeneousCCR(inst, ccr)
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// releaseScratch parks the request's scratch with its instance's cache
+// entry (so the next hit schedules with prebuilt tables) or, when the
+// entry is gone or full, returns it to the global pool.
+func (s *Server) releaseScratch(entry *cacheEntry, scr *scheduler.Scratch) {
+	if entry != nil && s.cache.release(entry, scr) {
+		return
+	}
+	s.pool.Put(scr)
+}
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var req ScheduleRequest
+	if !httpx.ReadJSON(w, r, &req) {
+		return
+	}
+	sched, err := scheduler.New(req.Scheduler)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	entry, scr, ok := s.instanceFor(w, req.Instance, req.WfC, req.Link, req.CCR, req.Nodes)
+	if !ok {
+		return
+	}
+	s.leases.Add(1)
+	if scr == nil {
+		scr = s.pool.Get()
+	}
+	defer s.releaseScratch(entry, scr)
+	out := scr.AcquireSchedule()
+	defer scr.ReleaseSchedule(out)
+	if err := scheduler.ScheduleInto(sched, entry.inst, scr, out); err != nil {
+		http.Error(w, fmt.Sprintf("schedule: %v", err), http.StatusBadRequest)
+		return
+	}
+	raw, err := serialize.MarshalSchedule(out)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("encode schedule: %v", err), http.StatusInternalServerError)
+		return
+	}
+	httpx.WriteJSON(w, ScheduleResponse{
+		Scheduler: sched.Name(),
+		Makespan:  out.Makespan(),
+		Schedule:  raw,
+	})
+}
+
+func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
+	var req PortfolioRequest
+	if !httpx.ReadJSON(w, r, &req) {
+		return
+	}
+	if len(req.Schedulers) < 2 || len(req.Schedulers) > 32 {
+		http.Error(w, fmt.Sprintf("portfolio needs 2..32 schedulers, got %d", len(req.Schedulers)), http.StatusBadRequest)
+		return
+	}
+	if req.K <= 0 || req.K > len(req.Schedulers) {
+		http.Error(w, fmt.Sprintf("k %d outside [1, %d]", req.K, len(req.Schedulers)), http.StatusBadRequest)
+		return
+	}
+	if req.Iters == 0 {
+		req.Iters = 250
+	}
+	if req.Restarts == 0 {
+		req.Restarts = 2
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if req.Iters < 0 || req.Iters > s.opts.MaxPISAIters || req.Restarts < 0 || req.Restarts > 100 {
+		http.Error(w, fmt.Sprintf("iters %d / restarts %d outside the server's budget (iters ≤ %d, restarts ≤ 100)",
+			req.Iters, req.Restarts, s.opts.MaxPISAIters), http.StatusBadRequest)
+		return
+	}
+	var scheds []scheduler.Scheduler
+	for _, n := range req.Schedulers {
+		sc, err := scheduler.New(n)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		scheds = append(scheds, sc)
+	}
+	opts := core.DefaultOptions()
+	opts.MaxIters = req.Iters
+	opts.Restarts = req.Restarts
+	opts.Seed = req.Seed
+	res, err := experiments.PairwisePISARun(scheds, experiments.PairwiseOptions{Anneal: opts},
+		runner.Options{Workers: s.opts.Workers})
+	if err != nil {
+		http.Error(w, fmt.Sprintf("portfolio grid: %v", err), http.StatusInternalServerError)
+		return
+	}
+	p, err := experiments.SelectPortfolioParallel(res.Schedulers, res.Ratios, req.K, s.opts.Workers)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("portfolio selection: %v", err), http.StatusInternalServerError)
+		return
+	}
+	httpx.WriteJSON(w, PortfolioResponse{
+		Schedulers: res.Schedulers,
+		Ratios:     res.Ratios,
+		Members:    p.Members,
+		WorstRatio: p.WorstRatio,
+	})
+}
+
+func (s *Server) handleRobustness(w http.ResponseWriter, r *http.Request) {
+	var req RobustnessRequest
+	if !httpx.ReadJSON(w, r, &req) {
+		return
+	}
+	sched, err := scheduler.New(req.Scheduler)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Sigma == 0 {
+		req.Sigma = 0.2
+	}
+	if req.N == 0 {
+		req.N = 100
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if req.Sigma < 0 || req.Sigma > 10 {
+		http.Error(w, fmt.Sprintf("sigma %g outside [0, 10]", req.Sigma), http.StatusBadRequest)
+		return
+	}
+	if req.N < 1 || req.N > s.opts.MaxRobustnessN {
+		http.Error(w, fmt.Sprintf("n %d outside [1, %d]", req.N, s.opts.MaxRobustnessN), http.StatusBadRequest)
+		return
+	}
+	entry, scr, ok := s.instanceFor(w, req.Instance, req.WfC, req.Link, req.CCR, req.Nodes)
+	if !ok {
+		return
+	}
+	if scr != nil {
+		// The robustness driver owns per-worker scratches internally; a
+		// parked scratch stays parked for the schedule path.
+		s.releaseScratch(entry, scr)
+	}
+	res, err := experiments.RobustnessRun(entry.inst, sched, req.Sigma, req.N, req.Seed,
+		runner.Options{Workers: s.opts.Workers})
+	if err != nil {
+		http.Error(w, fmt.Sprintf("robustness: %v", err), http.StatusBadRequest)
+		return
+	}
+	httpx.WriteJSON(w, RobustnessResponse{
+		Scheduler: res.Scheduler,
+		Nominal:   res.Nominal,
+		Static:    res.Static,
+		Adaptive:  res.Adaptive,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	endpoints, rejected, inflight, uptime := s.metrics.snapshot()
+	httpx.WriteJSON(w, MetricsSnapshot{
+		UptimeSeconds: uptime,
+		Endpoints:     endpoints,
+		Cache:         s.cache.stats(),
+		Pool: PoolStats{
+			FreshScratches: s.pool.Fresh(),
+			Leases:         s.leases.Load(),
+		},
+		Admission: AdmissionStats{
+			MaxConcurrent: s.opts.MaxConcurrent,
+			Inflight:      inflight,
+			Rejected:      rejected,
+		},
+	})
+}

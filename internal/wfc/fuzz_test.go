@@ -1,0 +1,94 @@
+package wfc
+
+// Satellite: a Go-native fuzz target over the wfformat ingestion path —
+// the daemon feeds attacker-controlled bytes straight into Parse, so
+// the whole chain (Parse → ToTaskGraph → ToNetwork → Instance.Validate
+// → Marshal round trip) must reject garbage with errors, never panics.
+// Seeds come from the committed WfCommons fixtures in testdata/ plus
+// hand-written adversarial documents; `make fuzz-short` runs the
+// mutation engine for a bounded slice of CI time, and the corpus under
+// testdata/fuzz/ (when the engine finds anything) is committed like any
+// other regression.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"saga/internal/graph"
+)
+
+func FuzzParse(f *testing.F) {
+	// Every committed fixture is a seed.
+	fixtures, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(fixtures) == 0 {
+		f.Fatal("no wfformat fixtures in testdata/")
+	}
+	for _, path := range fixtures {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	// Adversarial seeds: shapes that target each validation branch.
+	for _, seed := range []string{
+		``,
+		`{}`,
+		`null`,
+		`{"workflow": {"tasks": []}}`,
+		`{"workflow": {"tasks": [{"runtimeInSeconds": 1}]}}`,                                          // no id, no name
+		`{"workflow": {"tasks": [{"name": "a"}, {"name": "a"}]}}`,                                     // duplicate id
+		`{"workflow": {"tasks": [{"name": "a", "runtimeInSeconds": -1}]}}`,                            // negative runtime
+		`{"workflow": {"tasks": [{"name": "a", "parents": ["ghost"]}]}}`,                              // unknown parent
+		`{"workflow": {"tasks": [{"name": "a", "parents": ["a"]}]}}`,                                  // self-dependency
+		`{"workflow": {"tasks": [{"name": "a", "parents": ["b"]}, {"name": "b", "parents": ["a"]}]}}`, // cycle
+		`{"workflow": {"tasks": [{"name": "a", "parents": ["b", "b"]}, {"name": "b"}]}}`,              // duplicate parent
+		`{"workflow": {"tasks": [{"name": "a", "runtimeInSeconds": 1e308}], "machines": [{"speed": -3}]}}`,
+		`{"workflow": {"tasks": [{"name": "a", "files": [{"name": "f", "link": "input", "sizeInBytes": -5}]}]}}`,
+	} {
+		f.Add([]byte(seed))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := Parse(data)
+		if err != nil {
+			return // rejected cleanly
+		}
+		g, err := doc.ToTaskGraph()
+		net := doc.ToNetwork(1)
+		if err != nil {
+			return
+		}
+		// A graph that converted must stand up as a full instance…
+		if net == nil {
+			net = graph.NewNetwork(2)
+			net.SetLink(0, 1, 1)
+		}
+		inst := graph.NewInstance(g, net)
+		if err := inst.Validate(); err != nil {
+			return // degenerate weights are rejected, not scheduled
+		}
+		// …and survive the export round trip with its shape intact.
+		back := FromTaskGraph(doc.Name, g)
+		raw, err := back.Marshal()
+		if err != nil {
+			t.Fatalf("Marshal of converted graph failed: %v", err)
+		}
+		doc2, err := Parse(raw)
+		if err != nil {
+			t.Fatalf("round-tripped document does not re-parse: %v\n%s", err, raw)
+		}
+		g2, err := doc2.ToTaskGraph()
+		if err != nil {
+			t.Fatalf("round-tripped document does not re-convert: %v\n%s", err, raw)
+		}
+		if g2.NumTasks() != g.NumTasks() || g2.NumDeps() != g.NumDeps() {
+			t.Fatalf("round trip changed the graph: %d tasks / %d deps became %d / %d",
+				g.NumTasks(), g.NumDeps(), g2.NumTasks(), g2.NumDeps())
+		}
+	})
+}
