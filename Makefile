@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race verify bench-smoke bench bench-pisa bench-pisa-full docs-lint coord-smoke serve-smoke bench-serve fuzz-short cover
+.PHONY: all build test test-race verify bench-smoke bench bench-pisa bench-pisa-full docs-lint coord-smoke serve-smoke chaos-smoke bench-serve fuzz-short cover
 
 all: verify
 
@@ -33,10 +33,12 @@ test-race:
 # incremental (bit-identical and allocation-free), the process-level
 # coordinator smoke test survives a worker SIGKILL byte-identically, the
 # scheduling daemon answers byte-identically to the library and drains
-# gracefully (serve-smoke + bench-serve), the wfformat ingestion path
-# survives a bounded fuzz run, per-package coverage stays above the
-# COVER_BASELINE floors, and every package stays documented.
-verify: build test test-race docs-lint bench-smoke bench-pisa coord-smoke serve-smoke bench-serve fuzz-short cover
+# gracefully (serve-smoke + bench-serve), the distributed-dispatch chaos
+# drill survives a hub restart and worker SIGKILL mid-request
+# (chaos-smoke), the wfformat ingestion path survives a bounded fuzz
+# run, per-package coverage stays above the COVER_BASELINE floors, and
+# every package stays documented.
+verify: build test test-race docs-lint bench-smoke bench-pisa coord-smoke serve-smoke chaos-smoke bench-serve fuzz-short cover
 
 # coord-smoke is the process-level fault drill for the sweep
 # coordinator: it builds the saga binary, starts `saga coordinate` plus
@@ -58,6 +60,19 @@ coord-smoke:
 # connections are refused, the process exits 0.
 serve-smoke:
 	SERVE_SMOKE=1 $(GO) test -run TestServeSmokeE2E -count 1 -v -timeout 300s ./internal/serve/
+
+# chaos-smoke is the process-level drill for the distributed dispatch
+# path: a real `saga serve -coordinator` daemon farming concurrent
+# portfolio/robustness requests through a real `saga coordinate -hub`
+# to three `saga worker -persist` processes, with bearer tokens on
+# every coordinator hop. Mid-request the hub is SIGKILLed and restarted
+# on the same port (state gone — the daemon must re-register by content
+# hash) and one worker is SIGKILLed mid-sweep (its leases expire and
+# survivors reclaim the cells). Every response must be byte-identical
+# to in-process local execution with zero degradations, and SIGTERM
+# must drain daemon, workers, and hub to clean exit 0.
+chaos-smoke:
+	CHAOS_SMOKE=1 $(GO) test -run TestChaosSmokeE2E -count 1 -v -timeout 600s ./internal/serve/
 
 # bench-serve is the daemon load gate: 8 concurrent clients against a
 # live server, every response byte-verified, client-observed p50/p99

@@ -34,6 +34,7 @@ import (
 	"saga/internal/datasets"
 	"saga/internal/experiments"
 	"saga/internal/graph"
+	"saga/internal/httpx"
 	"saga/internal/render"
 	"saga/internal/rng"
 	"saga/internal/runner"
@@ -101,7 +102,8 @@ commands:
   datasets   list the available dataset generators (Table II)
   generate   -dataset <name> [-seed N] [-out file.json]
   schedule   -scheduler <name> -in file.json [-gantt] [-server URL]
-  serve      [-addr host:port] [-max-concurrent N] [-queue-timeout D] [-cache N] [-workers N] [-drain-timeout D] [-verbose]
+  serve      [-addr host:port] [-max-concurrent N] [-queue-timeout D] [-cache N] [-workers N] [-drain-timeout D]
+             [-coordinator URL] [-degrade-window D] [-token T] [-coordinator-token T] [-verbose]
   pisa       -target <name> -base <name> [-method sa|ga] [-iters N] [-restarts N] [-seed N] [-workers N] [-out file.json]
   portfolio  -k N [-schedulers a,b,c] [-iters N] [-restarts N] [-seed N] [-workers N] [-server URL]
   robustness -scheduler <name> -in file.json [-sigma F] [-n N] [-seed N] [-workers N] [-checkpoint file] [-shard I/C] [-server URL]
@@ -113,10 +115,22 @@ commands:
   worker     -driver fig4|fig7|fig8|appspecific|robustness -shard I/C -checkpoint file [-n N] [-seed N]
              [-iters N] [-restarts N] [-workflow w] [-ccr F] [-scheduler s] [-sigma F] [-in file.json]
              [-workers N] [-chain-workers N] [-progress]
-             or: -coordinator http://host:port [-name id] [-workers N] [-progress]   (dynamic leasing)
+             or: -coordinator http://host:port [-name id] [-workers N] [-persist] [-token T] [-progress]
   coordinate -driver <name> -checkpoint store.json [-addr host:port] [-lease N] [-lease-ttl D]
-             [-retries N] [-retry-backoff D] [-shuffle-seed N] [-verbose] [sweep flags as for worker]
+             [-retries N] [-retry-backoff D] [-shuffle-seed N] [-token T] [-verbose] [sweep flags as for worker]
+             or: -hub [-addr host:port] [-lease N] [-lease-ttl D] [-token T] [-verbose]   (serve many sweeps for dispatch)
+             or: -watch http://host:port [-interval D] [-token T]                         (live progress line)
   merge      -driver <name> -out merged.json [sweep flags as for worker] shard1.json shard2.json ...`)
+}
+
+// tokenFlag registers the -token flag every networked subcommand
+// shares: a bearer token presented to (or required by) the daemon and
+// coordinator endpoints. The default comes from $SAGA_TOKEN so a fleet
+// can be secured without editing every launch line; an empty token
+// leaves the endpoint open.
+func tokenFlag(fs *flag.FlagSet) *string {
+	return fs.String("token", os.Getenv("SAGA_TOKEN"),
+		"shared-secret bearer token for daemon/coordinator endpoints (default $SAGA_TOKEN; empty = no auth)")
 }
 
 func list() error {
@@ -178,6 +192,7 @@ func scheduleCmd(args []string) error {
 	in := fs.String("in", "", "instance JSON file (required)")
 	gantt := fs.Bool("gantt", true, "render an ASCII Gantt chart")
 	server := fs.String("server", "", "daemon URL (e.g. http://host:port); schedule via `saga serve` instead of in-process")
+	token := tokenFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -196,7 +211,7 @@ func scheduleCmd(args []string) error {
 		if err != nil {
 			return err
 		}
-		c := &serve.Client{BaseURL: strings.TrimRight(*server, "/")}
+		c := &serve.Client{BaseURL: strings.TrimRight(*server, "/"), Token: *token}
 		resp, err := c.Schedule(context.Background(), serve.ScheduleRequest{Scheduler: *name, Instance: raw})
 		if err != nil {
 			return err
@@ -243,15 +258,26 @@ func serveCmd(args []string) error {
 	cacheEntries := fs.Int("cache", 64, "instance cache entries (content-hash keyed, LRU)")
 	workers := fs.Int("workers", 1, "runner workers inside one portfolio/robustness request (results identical at any count)")
 	drain := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+	coordinator := fs.String("coordinator", "", "coordinator hub URL (`saga coordinate -hub`); farm portfolio/robustness sweeps to a worker fleet, falling back to local compute when none responds")
+	degradeWindow := fs.Duration("degrade-window", 3*time.Second, "how long a dispatched sweep may go without worker progress before degrading to local execution")
+	token := tokenFlag(fs)
+	coordToken := fs.String("coordinator-token", "", "bearer token for the coordinator hub (default: same as -token)")
 	verbose := fs.Bool("verbose", false, "log every request on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opts := serve.Options{
-		MaxConcurrent: *maxConc,
-		QueueTimeout:  *queueTimeout,
-		CacheEntries:  *cacheEntries,
-		Workers:       *workers,
+		MaxConcurrent:    *maxConc,
+		QueueTimeout:     *queueTimeout,
+		CacheEntries:     *cacheEntries,
+		Workers:          *workers,
+		Coordinator:      strings.TrimRight(*coordinator, "/"),
+		DegradeWindow:    *degradeWindow,
+		Token:            *token,
+		CoordinatorToken: *coordToken,
+	}
+	if opts.CoordinatorToken == "" {
+		opts.CoordinatorToken = *token
 	}
 	if *verbose {
 		opts.Logf = func(format string, args ...any) {
@@ -265,6 +291,10 @@ func serveCmd(args []string) error {
 	}
 	fmt.Printf("serve: listening on http://%s\n", ln.Addr())
 	fmt.Printf("serve: POST /v1/schedule /v1/portfolio /v1/robustness; GET /metrics /healthz\n")
+	if opts.Coordinator != "" {
+		fmt.Printf("serve: dispatching portfolio/robustness sweeps via %s (local fallback after %s without worker progress)\n",
+			opts.Coordinator, *degradeWindow)
+	}
 	hs := &http.Server{Handler: srv}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -366,6 +396,7 @@ func portfolioCmd(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	server := fs.String("server", "", "daemon URL; run the grid on `saga serve` instead of in-process")
+	token := tokenFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -374,7 +405,7 @@ func portfolioCmd(args []string) error {
 		nameList[i] = strings.TrimSpace(nameList[i])
 	}
 	if *server != "" {
-		c := &serve.Client{BaseURL: strings.TrimRight(*server, "/")}
+		c := &serve.Client{BaseURL: strings.TrimRight(*server, "/"), Token: *token}
 		resp, err := c.Portfolio(context.Background(), serve.PortfolioRequest{
 			Schedulers: nameList, K: *k, Iters: *iters, Restarts: *restarts, Seed: *seed,
 		})
@@ -425,6 +456,7 @@ func robustnessCmd(args []string) error {
 	ckptPath := fs.String("checkpoint", "", "checkpoint file (resume an interrupted jitter sweep)")
 	shardStr := fs.String("shard", "", "compute only shard I/C of the jitter samples (requires -checkpoint; combine with `saga merge -driver robustness`)")
 	server := fs.String("server", "", "daemon URL; run the jitter sweep on `saga serve` instead of in-process")
+	token := tokenFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -439,7 +471,7 @@ func robustnessCmd(args []string) error {
 		if *ckptPath != "" || *shardStr != "" {
 			return fmt.Errorf("robustness: -server is incompatible with -checkpoint/-shard (the daemon owns the computation)")
 		}
-		c := &serve.Client{BaseURL: strings.TrimRight(*server, "/")}
+		c := &serve.Client{BaseURL: strings.TrimRight(*server, "/"), Token: *token}
 		resp, err := c.Robustness(context.Background(), serve.RobustnessRequest{
 			Scheduler: *name, Instance: raw, Sigma: *sigma, N: *n, Seed: *seed,
 		})
@@ -734,6 +766,8 @@ func workerCmd(args []string) error {
 	coordURL := fs.String("coordinator", "", "coordinator URL (e.g. http://host:port); lease cells dynamically instead of -driver/-shard/-checkpoint")
 	name := fs.String("name", "", "worker name in coordinator logs (default host-pid)")
 	workers := fs.Int("workers", 0, "parallel workers within this shard or lease (0 = GOMAXPROCS)")
+	persist := fs.Bool("persist", false, "fleet mode: stay alive across sweeps and coordinator restarts (requires -coordinator; stop with SIGINT/SIGTERM)")
+	token := tokenFlag(fs)
 	progress := fs.Bool("progress", false, "report progress on stderr")
 	params := sweepFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -751,11 +785,24 @@ func workerCmd(args []string) error {
 			}
 			nm = fmt.Sprintf("%s-%d", host, os.Getpid())
 		}
-		wo := coord.WorkerOptions{Name: nm, Workers: *workers}
+		wo := coord.WorkerOptions{
+			Name:    nm,
+			Workers: *workers,
+			Persist: *persist,
+			Client:  httpx.NewBearerClient(nil, *token),
+		}
 		if *progress {
 			wo.Progress = runner.ProgressPrinter(os.Stderr, "worker "+nm)
 		}
-		if err := coord.RunWorker(context.Background(), *coordURL, wo); err != nil {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := coord.RunWorker(ctx, *coordURL, wo); err != nil {
+			if errors.Is(err, context.Canceled) {
+				// Signal-driven shutdown: any lease in flight was dropped
+				// cleanly (the coordinator reaps it) — a clean fleet drain.
+				fmt.Printf("worker: %s stopped by signal\n", nm)
+				return nil
+			}
 			if errors.Is(err, coord.ErrCoordinatorGone) {
 				// The coordinator finished (or crashed; its store resumes).
 				// Either way this worker has nothing left to do — every
@@ -767,6 +814,9 @@ func workerCmd(args []string) error {
 		}
 		fmt.Printf("worker: %s done (sweep finished at %s)\n", nm, *coordURL)
 		return nil
+	}
+	if *persist {
+		return fmt.Errorf("worker: -persist requires -coordinator (static shards end with their shard)")
 	}
 	if *driver == "" || *shardStr == "" || *ckptPath == "" {
 		return fmt.Errorf("worker: -driver, -shard and -checkpoint are required (or -coordinator for dynamic leasing)")
@@ -813,9 +863,13 @@ func workerCmd(args []string) error {
 // committed cells are never recomputed.
 func coordinateCmd(args []string) error {
 	fs := flag.NewFlagSet("coordinate", flag.ExitOnError)
-	driver := fs.String("driver", "", "sweep to coordinate: "+strings.Join(experiments.SweepNames, ", ")+" (required)")
+	driver := fs.String("driver", "", "sweep to coordinate: "+strings.Join(experiments.SweepNames, ", ")+" (required unless -hub/-watch)")
 	addr := fs.String("addr", "127.0.0.1:0", "address to serve the protocol on (0 picks a free port, printed at startup)")
-	ckptPath := fs.String("checkpoint", "", "the sweep's checkpoint store (required; resumed if it exists)")
+	ckptPath := fs.String("checkpoint", "", "the sweep's checkpoint store (required unless -hub/-watch; resumed if it exists)")
+	hub := fs.Bool("hub", false, "host a multi-sweep hub for `saga serve -coordinator` dispatch instead of one fixed sweep")
+	watch := fs.String("watch", "", "coordinator or hub URL: render GET /status as a live progress line instead of serving")
+	interval := fs.Duration("interval", time.Second, "poll cadence for -watch")
+	token := tokenFlag(fs)
 	leaseSize := fs.Int("lease", 8, "cells per lease")
 	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "lease lifetime without a heartbeat before its cells are reclaimed")
 	retries := fs.Int("retries", 3, "attempts per cell before it is poisoned (reported, excluded, sweep continues)")
@@ -826,12 +880,8 @@ func coordinateCmd(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *driver == "" || *ckptPath == "" {
-		return fmt.Errorf("coordinate: -driver and -checkpoint are required")
-	}
-	p, err := params()
-	if err != nil {
-		return err
+	if *watch != "" {
+		return watchStatus(strings.TrimRight(*watch, "/"), *token, *interval)
 	}
 	opts := coord.Options{
 		LeaseSize:    *leaseSize,
@@ -839,11 +889,25 @@ func coordinateCmd(args []string) error {
 		MaxRetries:   *retries,
 		RetryBackoff: *retryBackoff,
 		ShuffleSeed:  *shuffleSeed,
+		Token:        *token,
 	}
 	if *verbose {
 		opts.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+	}
+	if *hub {
+		if *driver != "" || *ckptPath != "" {
+			return fmt.Errorf("coordinate: -hub hosts sweeps registered by daemons; it takes no -driver or -checkpoint")
+		}
+		return hubServe(*addr, opts, *verbose)
+	}
+	if *driver == "" || *ckptPath == "" {
+		return fmt.Errorf("coordinate: -driver and -checkpoint are required (or -hub / -watch)")
+	}
+	p, err := params()
+	if err != nil {
+		return err
 	}
 	c, err := coord.New(*driver, p, serialize.NewCheckpoint(*ckptPath), opts)
 	if err != nil {
@@ -866,6 +930,68 @@ func coordinateCmd(args []string) error {
 	fmt.Printf("coordinate: sweep %s complete; %d cells in %s (render with `figures -checkpoint %s %s`, same sweep flags)\n",
 		*driver, st.Cells, *ckptPath, *ckptPath, *driver)
 	return nil
+}
+
+// hubServe runs a coordinator hub (`saga coordinate -hub`): an empty
+// multi-sweep coordinator that `saga serve -coordinator` daemons
+// register portfolio/robustness sweeps on and `saga worker -coordinator
+// <hub> -persist` fleets drain. It holds no durable state — a restarted
+// hub starts empty and daemons re-register their in-flight sweeps onto
+// the same content-hash ids — so there is no -checkpoint; results leave
+// through GET /sweeps/{id}/cells. SIGINT or SIGTERM stops it.
+func hubServe(addr string, opts coord.Options, verbose bool) error {
+	hopts := coord.HubOptions{Sweep: opts, Token: opts.Token}
+	if verbose {
+		hopts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	h := coord.NewHub(hopts)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("coordinate: hub on http://%s\n", ln.Addr())
+	fmt.Printf("coordinate: daemons: `saga serve -coordinator http://%s`; fleets: `saga worker -coordinator http://%s -persist`\n",
+		ln.Addr(), ln.Addr())
+	srv := &http.Server{Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case got := <-sig:
+		fmt.Printf("coordinate: %v: hub stopping (daemons degrade to local, workers re-poll)\n", got)
+		return srv.Close()
+	}
+}
+
+// watchStatus renders GET /status — a bare coordinator's ledger or a
+// hub's merged view across every mounted sweep — as one live progress
+// line, refreshed in place until the sweep (or the whole hub) is done.
+func watchStatus(base, token string, interval time.Duration) error {
+	client := httpx.NewBearerClient(nil, token)
+	for {
+		var st coord.Status
+		if err := httpx.GetJSON(context.Background(), client, base+"/status", &st); err != nil {
+			fmt.Println()
+			return err
+		}
+		line := fmt.Sprintf("watch: %s  %d/%d cells  %d leased  %d retrying  %d poisoned",
+			st.Name, st.Committed, st.Cells, st.Leased, st.RetryWait, st.Poisoned)
+		if st.Name == "hub" {
+			line += fmt.Sprintf("  |  %d sweeps  %d workers", st.Sweeps, st.ActiveWorkers)
+		}
+		// \r + erase-to-EOL keeps the line stable as counts shrink.
+		fmt.Printf("\r\x1b[K%s", line)
+		if st.Done {
+			fmt.Println()
+			return nil
+		}
+		time.Sleep(interval)
+	}
 }
 
 // mergeCmd combines per-shard checkpoint stores into one complete store

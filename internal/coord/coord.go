@@ -32,17 +32,35 @@ package coord
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"saga/internal/experiments"
 	"saga/internal/httpx"
 	"saga/internal/rng"
-	"saga/internal/serialize"
 )
+
+// Store is the coordinator's commit target. serialize.Checkpoint is the
+// durable file-backed implementation behind `saga coordinate`; MemStore
+// backs the hub's per-request sweeps, whose results are fetched over
+// HTTP and never touch disk. Whatever the backing, StoreDedup carries
+// the protocol's core guarantee: identical duplicates are no-ops,
+// disagreeing ones are refused.
+type Store interface {
+	SetFingerprint(fp string)
+	Load() (map[int]json.RawMessage, error)
+	StoreDedup(index int, cell json.RawMessage) (stored bool, err error)
+	Flush() error
+}
+
+// ErrAborted is the Wait result of a sweep torn down by Abort — the
+// client that registered it went away, not a cell or store failure.
+var ErrAborted = errors.New("coord: sweep aborted")
 
 // Options tunes the coordinator's leasing and retry policy. The zero
 // value is usable: every field has a default.
@@ -62,6 +80,9 @@ type Options struct {
 	// order instead of index order. Results are identical either way —
 	// the fault-injection suite sweeps seeds to prove it.
 	ShuffleSeed uint64
+	// Token, when non-empty, requires `Authorization: Bearer <Token>` on
+	// every endpoint; rejected requests are counted in Status.
+	Token string
 	// Now is the clock, injectable for tests (default time.Now).
 	Now func() time.Time
 	// Logf, when non-nil, receives one line per protocol event.
@@ -111,6 +132,15 @@ type SweepInfo struct {
 	Fingerprint    string                  `json:"fingerprint"`
 	Cells          int                     `json:"cells"`
 	LeaseTTLMillis int64                   `json:"lease_ttl_ms"`
+
+	// Hub extensions (see Hub): a hub's GET /sweep points the worker at
+	// one mounted sweep via ID and Path (the base path of its
+	// lease/heartbeat/complete endpoints), or answers Idle when no sweep
+	// needs work right now. A bare single-sweep coordinator leaves all
+	// three zero, which is how workers tell the two modes apart.
+	ID   string `json:"id,omitempty"`
+	Path string `json:"path,omitempty"`
+	Idle bool   `json:"idle,omitempty"`
 }
 
 // LeaseRequest asks for the next cell range.
@@ -161,16 +191,21 @@ type CompleteResponse struct {
 	Done bool `json:"done,omitempty"`
 }
 
-// Status is the GET /status payload.
+// Status is the GET /status payload. ActiveWorkers, Sweeps and
+// AuthRejected are filled by the hub (a bare coordinator has no worker
+// registry); Done on a hub aggregate means every mounted sweep is done.
 type Status struct {
-	Name      string `json:"name"`
-	Cells     int    `json:"cells"`
-	Committed int    `json:"committed"`
-	Poisoned  int    `json:"poisoned"`
-	Leased    int    `json:"leased"`
-	Pending   int    `json:"pending"`
-	RetryWait int    `json:"retry_wait"`
-	Done      bool   `json:"done"`
+	Name          string `json:"name"`
+	Cells         int    `json:"cells"`
+	Committed     int    `json:"committed"`
+	Poisoned      int    `json:"poisoned"`
+	Leased        int    `json:"leased"`
+	Pending       int    `json:"pending"`
+	RetryWait     int    `json:"retry_wait"`
+	Done          bool   `json:"done"`
+	ActiveWorkers int    `json:"active_workers,omitempty"`
+	Sweeps        int    `json:"sweeps,omitempty"`
+	AuthRejected  uint64 `json:"auth_rejected,omitempty"`
 }
 
 // PoisonedError reports the cells that exhausted their retries. The
@@ -224,9 +259,11 @@ type leaseInfo struct {
 // an http.Handler; serve it wherever convenient (net/http, httptest).
 type Coordinator struct {
 	info  SweepInfo
-	store *serialize.Checkpoint
+	store Store
 	opts  Options
 	mux   *http.ServeMux
+
+	authRejected atomic.Uint64
 
 	mu        sync.Mutex
 	cells     []cellInfo
@@ -235,6 +272,7 @@ type Coordinator struct {
 	nextLease int
 	committed int
 	poisoned  int
+	aborted   bool
 	fatal     error         // store-level failure; ends the run
 	done      chan struct{} // closed when committed+poisoned == Cells (or fatal)
 	closed    bool
@@ -245,7 +283,7 @@ type Coordinator struct {
 // already present are committed up front, which is what makes a
 // coordinator crash resumable — restart it on the same store and only
 // the missing cells are leased out.
-func New(name string, params experiments.SweepParams, store *serialize.Checkpoint, opts Options) (*Coordinator, error) {
+func New(name string, params experiments.SweepParams, store Store, opts Options) (*Coordinator, error) {
 	sw, err := experiments.NewSweep(name, params)
 	if err != nil {
 		return nil, err
@@ -299,7 +337,40 @@ func New(name string, params experiments.SweepParams, store *serialize.Checkpoin
 
 // ServeHTTP implements http.Handler.
 func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !httpx.CheckBearer(r, c.opts.Token) {
+		c.authRejected.Add(1)
+		http.Error(w, "unauthorized", http.StatusUnauthorized)
+		return
+	}
 	c.mux.ServeHTTP(w, r)
+}
+
+// Abort tears the sweep down: outstanding leases are dropped, further
+// leases answer Done, completions are acknowledged but not committed,
+// and Wait returns ErrAborted. Committed cells stay in the store — an
+// aborted sweep re-registered later resumes from them. Safe to call
+// more than once and after completion (then a no-op).
+func (c *Coordinator) Abort() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.aborted || c.closed {
+		return
+	}
+	c.aborted = true
+	if c.fatal == nil {
+		c.fatal = ErrAborted
+	}
+	for id := range c.leases {
+		delete(c.leases, id)
+	}
+	for k := range c.cells {
+		if c.cells[k].state == cellLeased {
+			c.cells[k].state = cellPending
+			c.cells[k].lease = ""
+		}
+	}
+	c.logf("coordinator: sweep %s aborted (%d/%d committed)", c.info.Name, c.committed, c.info.Cells)
+	c.checkDoneLocked()
 }
 
 func (c *Coordinator) logf(format string, args ...any) {
@@ -345,7 +416,8 @@ func (c *Coordinator) Status() Status {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.reapLocked(c.opts.Now())
-	s := Status{Name: c.info.Name, Cells: c.info.Cells, Committed: c.committed, Poisoned: c.poisoned}
+	s := Status{Name: c.info.Name, Cells: c.info.Cells, Committed: c.committed, Poisoned: c.poisoned,
+		AuthRejected: c.authRejected.Load()}
 	for k := range c.cells {
 		switch c.cells[k].state {
 		case cellPending:
@@ -468,6 +540,12 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	now := c.opts.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.aborted {
+		// The sweep was torn down under the worker: nothing to commit,
+		// nothing to retry. Done sends the worker back to its poll loop.
+		writeJSON(w, CompleteResponse{OK: false, Done: true})
+		return
+	}
 	c.reapLocked(now)
 
 	// Commit successes first — even from an expired or unknown lease

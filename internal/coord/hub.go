@@ -1,0 +1,449 @@
+package coord
+
+// The hub hosts many sweeps behind one address: the coordinator side of
+// the daemon dispatch path (internal/serve). A `saga serve -coordinator`
+// daemon registers each portfolio/robustness request as a sweep; a fleet
+// of `saga worker -coordinator <hub> -persist` processes polls the hub
+// and rotates across whatever sweeps need cells.
+//
+// Sweep identity is the content hash of the sweep's fingerprint, which
+// is what makes the dispatch path coordinator-crash recoverable: a
+// restarted hub starts empty, the daemon's next status poll answers 404,
+// the daemon re-registers, and the hash maps the request to the *same*
+// sweep id — so a worker that computed cells against the old incarnation
+// delivers into the new one and the results are the results (global
+// position-derived seeds; StoreDedup refuses disagreement). Identical
+// concurrent requests share one sweep through a refcount; DELETE
+// decrements it and the last client's release aborts and unmounts.
+//
+// Endpoints (all JSON; Options.Token guards every one):
+//
+//	POST   /sweeps                register (or re-join) a sweep
+//	GET    /sweep                 worker poll: which sweep needs cells?
+//	GET    /status                aggregate progress for operators
+//	GET    /sweeps/{id}/status    one sweep's ledger
+//	GET    /sweeps/{id}/cells     the committed cells (the result payload)
+//	DELETE /sweeps/{id}           release: last ref aborts + unmounts
+//	POST   /sweeps/{id}/lease     ┐
+//	POST   /sweeps/{id}/heartbeat │ the PR 7 lease protocol, per sweep
+//	POST   /sweeps/{id}/complete  ┘
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"saga/internal/experiments"
+	"saga/internal/httpx"
+)
+
+// HubOptions tunes the hub. The zero value is usable.
+type HubOptions struct {
+	// Sweep is the per-sweep coordinator policy (lease size, TTL,
+	// retries…). Its Token and Logf fields are ignored — the hub's own
+	// Token guards everything and log lines are prefixed per sweep.
+	Sweep Options
+	// Token, when non-empty, requires bearer auth on every endpoint.
+	Token string
+	// WorkerTTL is how long after its last contact a worker still counts
+	// as active (default 10s). ActiveWorkers drives the daemon's
+	// no-worker degradation window.
+	WorkerTTL time.Duration
+	// SweepTTL unmounts sweeps nobody has touched — no client status
+	// poll, no worker lease traffic — for this long (default 15m). It is
+	// the leak bound for daemons that crashed between register and
+	// release.
+	SweepTTL time.Duration
+	// Now is the clock, injectable for tests (default time.Now).
+	Now func() time.Time
+	// Logf, when non-nil, receives one line per hub event.
+	Logf func(format string, args ...any)
+}
+
+func (o HubOptions) withDefaults() HubOptions {
+	if o.WorkerTTL <= 0 {
+		o.WorkerTTL = 10 * time.Second
+	}
+	if o.SweepTTL <= 0 {
+		o.SweepTTL = 15 * time.Minute
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// RegisterRequest mounts (or re-joins) a sweep on the hub.
+type RegisterRequest struct {
+	Name   string                  `json:"name"`
+	Params experiments.SweepParams `json:"params"`
+}
+
+// RegisterResponse identifies the mounted sweep. Existing reports that
+// the sweep was already mounted (an identical concurrent request, or a
+// re-registration after the client lost track of it): the caller joined
+// it rather than starting fresh.
+type RegisterResponse struct {
+	ID          string `json:"id"`
+	Fingerprint string `json:"fingerprint"`
+	Cells       int    `json:"cells"`
+	Existing    bool   `json:"existing,omitempty"`
+}
+
+// CellsResponse is the GET /sweeps/{id}/cells payload: every committed
+// cell, keyed by global cell index.
+type CellsResponse struct {
+	Cells map[int]json.RawMessage `json:"cells"`
+}
+
+type hubSweep struct {
+	id      string
+	name    string
+	coord   *Coordinator
+	store   *MemStore
+	refs    int
+	touched time.Time
+}
+
+// Hub is an http.Handler hosting any number of coordinated sweeps.
+type Hub struct {
+	opts HubOptions
+	mux  *http.ServeMux
+
+	mu           sync.Mutex
+	sweeps       map[string]*hubSweep
+	order        []string // mount order; GET /sweep scans it
+	workers      map[string]time.Time
+	authRejected uint64
+}
+
+// NewHub builds an empty hub.
+func NewHub(opts HubOptions) *Hub {
+	h := &Hub{
+		opts:    opts.withDefaults(),
+		sweeps:  map[string]*hubSweep{},
+		workers: map[string]time.Time{},
+	}
+	h.mux = http.NewServeMux()
+	h.mux.HandleFunc("POST /sweeps", h.handleRegister)
+	h.mux.HandleFunc("GET /sweep", h.handlePick)
+	h.mux.HandleFunc("GET /status", h.handleStatus)
+	h.mux.HandleFunc("DELETE /sweeps/{id}", h.handleRelease)
+	h.mux.HandleFunc("GET /sweeps/{id}/status", h.handleSweepStatus)
+	h.mux.HandleFunc("GET /sweeps/{id}/cells", h.handleCells)
+	h.mux.HandleFunc("POST /sweeps/{id}/{op}", h.handleProtocol)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Hub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !httpx.CheckBearer(r, h.opts.Token) {
+		h.mu.Lock()
+		h.authRejected++
+		h.mu.Unlock()
+		http.Error(w, "unauthorized", http.StatusUnauthorized)
+		return
+	}
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *Hub) logf(format string, args ...any) {
+	if h.opts.Logf != nil {
+		h.opts.Logf(format, args...)
+	}
+}
+
+// SweepID derives the hub's sweep id from a fingerprint: a short content
+// hash, so identical requests — including one replayed after a hub
+// restart — always land on the same id.
+func SweepID(fingerprint string) string {
+	sum := sha256.Sum256([]byte(fingerprint))
+	return fmt.Sprintf("s%x", sum[:8])
+}
+
+// touchWorker records contact from a worker (the ?worker= query workers
+// append to their hub requests).
+func (h *Hub) touchWorkerLocked(r *http.Request, now time.Time) {
+	if name := r.URL.Query().Get("worker"); name != "" {
+		h.workers[name] = now
+	}
+}
+
+// activeWorkersLocked counts (and prunes) workers heard from within
+// WorkerTTL.
+func (h *Hub) activeWorkersLocked(now time.Time) int {
+	for name, t := range h.workers {
+		if now.Sub(t) > h.opts.WorkerTTL {
+			delete(h.workers, name)
+		}
+	}
+	return len(h.workers)
+}
+
+// gcLocked unmounts sweeps whose last touch is older than SweepTTL.
+func (h *Hub) gcLocked(now time.Time) {
+	for i := 0; i < len(h.order); {
+		id := h.order[i]
+		hs := h.sweeps[id]
+		if now.Sub(hs.touched) > h.opts.SweepTTL {
+			hs.coord.Abort()
+			delete(h.sweeps, id)
+			h.order = append(h.order[:i], h.order[i+1:]...)
+			h.logf("hub: sweep %s (%s) expired untouched; unmounted", id, hs.name)
+			continue
+		}
+		i++
+	}
+}
+
+func (h *Hub) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	// Resolve outside the lock: NewSweep validates and fingerprints.
+	sw, err := experiments.NewSweep(req.Name, req.Params)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	id := SweepID(sw.Fingerprint)
+	now := h.opts.Now()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.gcLocked(now)
+	if hs, ok := h.sweeps[id]; ok {
+		hs.refs++
+		hs.touched = now
+		writeJSON(w, RegisterResponse{ID: id, Fingerprint: sw.Fingerprint, Cells: sw.Cells, Existing: true})
+		return
+	}
+	opts := h.opts.Sweep
+	opts.Token = ""
+	opts.Logf = nil
+	if h.opts.Logf != nil {
+		logf := h.opts.Logf
+		opts.Logf = func(format string, args ...any) { logf("["+id+"] "+format, args...) }
+	}
+	store := NewMemStore()
+	c, err := New(req.Name, req.Params, store, opts)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	h.sweeps[id] = &hubSweep{id: id, name: req.Name, coord: c, store: store, refs: 1, touched: now}
+	h.order = append(h.order, id)
+	h.logf("hub: mounted sweep %s (%s, %d cells)", id, req.Name, sw.Cells)
+	writeJSON(w, RegisterResponse{ID: id, Fingerprint: sw.Fingerprint, Cells: sw.Cells})
+}
+
+func (h *Hub) handleRelease(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	hs, ok := h.sweeps[id]
+	if !ok {
+		http.Error(w, "unknown sweep", http.StatusNotFound)
+		return
+	}
+	hs.refs--
+	if hs.refs > 0 {
+		writeJSON(w, map[string]bool{"ok": true})
+		return
+	}
+	hs.coord.Abort()
+	delete(h.sweeps, id)
+	for i, oid := range h.order {
+		if oid == id {
+			h.order = append(h.order[:i], h.order[i+1:]...)
+			break
+		}
+	}
+	h.logf("hub: released sweep %s (%s); unmounted", id, hs.name)
+	writeJSON(w, map[string]bool{"ok": true})
+}
+
+// handlePick answers a worker's GET /sweep: the first mounted sweep with
+// leasable work, else the first unfinished one (its cells may come back
+// via reaping or retry), else Idle.
+func (h *Hub) handlePick(w http.ResponseWriter, r *http.Request) {
+	now := h.opts.Now()
+	h.mu.Lock()
+	h.touchWorkerLocked(r, now)
+	h.gcLocked(now)
+	candidates := make([]*hubSweep, 0, len(h.order))
+	for _, id := range h.order {
+		candidates = append(candidates, h.sweeps[id])
+	}
+	h.mu.Unlock()
+
+	var fallback *hubSweep
+	for _, hs := range candidates {
+		st := hs.coord.Status()
+		if st.Done {
+			continue
+		}
+		if st.Pending > 0 || st.RetryWait > 0 {
+			writeJSON(w, h.sweepInfo(hs))
+			return
+		}
+		if fallback == nil {
+			fallback = hs
+		}
+	}
+	if fallback != nil {
+		writeJSON(w, h.sweepInfo(fallback))
+		return
+	}
+	writeJSON(w, SweepInfo{Idle: true})
+}
+
+func (h *Hub) sweepInfo(hs *hubSweep) SweepInfo {
+	info := hs.coord.info
+	info.ID = hs.id
+	info.Path = "/sweeps/" + hs.id
+	return info
+}
+
+// lookup fetches a mounted sweep and bumps its touch time.
+func (h *Hub) lookup(r *http.Request) (*hubSweep, bool) {
+	id := r.PathValue("id")
+	now := h.opts.Now()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.touchWorkerLocked(r, now)
+	hs, ok := h.sweeps[id]
+	if ok {
+		hs.touched = now
+	}
+	return hs, ok
+}
+
+func (h *Hub) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	hs, ok := h.lookup(r)
+	if !ok {
+		http.Error(w, "unknown sweep", http.StatusNotFound)
+		return
+	}
+	st := hs.coord.Status()
+	now := h.opts.Now()
+	h.mu.Lock()
+	st.ActiveWorkers = h.activeWorkersLocked(now)
+	h.mu.Unlock()
+	writeJSON(w, st)
+}
+
+func (h *Hub) handleCells(w http.ResponseWriter, r *http.Request) {
+	hs, ok := h.lookup(r)
+	if !ok {
+		http.Error(w, "unknown sweep", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, CellsResponse{Cells: hs.store.Cells()})
+}
+
+// handleProtocol routes lease/heartbeat/complete to the sweep's own
+// coordinator, which speaks the unmodified PR 7 protocol.
+func (h *Hub) handleProtocol(w http.ResponseWriter, r *http.Request) {
+	op := r.PathValue("op")
+	if op != "lease" && op != "heartbeat" && op != "complete" {
+		http.Error(w, "unknown operation", http.StatusNotFound)
+		return
+	}
+	hs, ok := h.lookup(r)
+	if !ok {
+		// The sweep is gone — released, aborted, or this hub restarted.
+		// 404 tells the worker to drop the cells and re-poll GET /sweep.
+		http.Error(w, "unknown sweep", http.StatusNotFound)
+		return
+	}
+	r2 := r.Clone(r.Context())
+	r2.URL.Path = "/" + op
+	hs.coord.ServeHTTP(w, r2)
+}
+
+// handleStatus aggregates every mounted sweep for operators (`saga
+// coordinate -watch`).
+func (h *Hub) handleStatus(w http.ResponseWriter, r *http.Request) {
+	now := h.opts.Now()
+	h.mu.Lock()
+	h.gcLocked(now)
+	candidates := make([]*hubSweep, 0, len(h.order))
+	for _, id := range h.order {
+		candidates = append(candidates, h.sweeps[id])
+	}
+	agg := Status{Name: "hub", Done: true,
+		ActiveWorkers: h.activeWorkersLocked(now),
+		Sweeps:        len(h.order),
+		AuthRejected:  h.authRejected,
+	}
+	h.mu.Unlock()
+
+	for _, hs := range candidates {
+		st := hs.coord.Status()
+		agg.Cells += st.Cells
+		agg.Committed += st.Committed
+		agg.Poisoned += st.Poisoned
+		agg.Leased += st.Leased
+		agg.Pending += st.Pending
+		agg.RetryWait += st.RetryWait
+		agg.Done = agg.Done && st.Done
+	}
+	writeJSON(w, agg)
+}
+
+// MemStore is the in-memory Store behind hub sweeps: same dedup
+// semantics as serialize.Checkpoint, no file. Results leave through
+// GET /sweeps/{id}/cells instead of a checkpoint path.
+type MemStore struct {
+	mu    sync.Mutex
+	cells map[int]json.RawMessage
+}
+
+// NewMemStore returns an empty store.
+func NewMemStore() *MemStore {
+	return &MemStore{cells: map[int]json.RawMessage{}}
+}
+
+// SetFingerprint implements Store (a memory store has no cross-process
+// identity to verify; the hub's content-hash id plays that role).
+func (m *MemStore) SetFingerprint(fp string) {}
+
+// Load implements Store.
+func (m *MemStore) Load() (map[int]json.RawMessage, error) {
+	return m.Cells(), nil
+}
+
+// Cells returns a snapshot of the committed cells.
+func (m *MemStore) Cells() map[int]json.RawMessage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[int]json.RawMessage, len(m.cells))
+	for k, v := range m.cells {
+		out[k] = v
+	}
+	return out
+}
+
+// StoreDedup implements Store with serialize.Checkpoint's contract: an
+// identical duplicate is a no-op, a disagreeing one an error.
+func (m *MemStore) StoreDedup(index int, cell json.RawMessage) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if prior, ok := m.cells[index]; ok {
+		if string(prior) == string(cell) {
+			return false, nil
+		}
+		return false, fmt.Errorf("coord: cell %d delivered twice with different bytes (determinism violation)", index)
+	}
+	m.cells[index] = append(json.RawMessage(nil), cell...)
+	return true, nil
+}
+
+// Flush implements Store (memory is always "durable enough" — the hub's
+// recovery story is re-registration + recompute, not disk).
+func (m *MemStore) Flush() error { return nil }

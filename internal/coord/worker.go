@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"saga/internal/experiments"
@@ -21,8 +23,19 @@ import (
 // coordinator vanishes (finished and exited, or crashed awaiting a
 // restart on its store) the right move is to stop cleanly, not to spin
 // or to fail the operator's pipeline. Callers distinguish this from
-// real worker failures with errors.Is.
+// real worker failures with errors.Is. WorkerOptions.Persist trades
+// this exit for patience: the fleet outlives coordinator restarts.
 var ErrCoordinatorGone = errors.New("coordinator unreachable")
+
+// errSweepGone is the internal signal that the current sweep vanished
+// under the worker — released by its client, aborted, or lost to a hub
+// restart. The worker drops whatever it computed (nobody owns the
+// cells anymore) and returns to the sweep poll.
+var errSweepGone = errors.New("sweep gone")
+
+// errSweepRotate asks the outer loop to re-poll the hub: the current
+// sweep has nothing leasable while another mounted sweep does.
+var errSweepRotate = errors.New("rotate to another sweep")
 
 // WorkerOptions configures RunWorker.
 type WorkerOptions struct {
@@ -34,8 +47,14 @@ type WorkerOptions struct {
 	// Workers bounds the runner pool within each lease (0 = GOMAXPROCS).
 	Workers int
 	// PollInterval is how long to sleep when the coordinator answers
-	// Wait (default 200ms).
+	// Wait or Idle (default 200ms).
 	PollInterval time.Duration
+	// Persist keeps the worker alive across sweeps and coordinator
+	// outages: an idle hub means "poll again", not "done", and an
+	// unreachable coordinator is waited out instead of returned as
+	// ErrCoordinatorGone. This is the fleet mode behind
+	// `saga worker -coordinator <hub> -persist`.
+	Persist bool
 	// Progress, when non-nil, receives the worker's cumulative progress
 	// pinned to the sweep-wide cell total (runner.LeaseProgress
 	// semantics): reassigned or re-leased cells never double-count.
@@ -47,23 +66,32 @@ type WorkerOptions struct {
 	OnCellStored func(index int) error
 }
 
-// RunWorker joins the coordinator at baseURL and computes leases until
-// the sweep is done. It fetches the sweep identity, rebuilds the sweep
-// locally through experiments.NewSweep, and refuses to compute anything
-// if the local fingerprint or cell count disagrees with the
-// coordinator's — the same stale-parameters guard every checkpoint
-// resume applies.
+// RunWorker joins the coordinator (or hub) at baseURL and computes
+// leases until the sweep is done — or, with Persist, forever. It
+// fetches the sweep identity, rebuilds the sweep locally through
+// experiments.NewSweep, and refuses to compute anything if the local
+// fingerprint or cell count disagrees with the coordinator's — the same
+// stale-parameters guard every checkpoint resume applies.
+//
+// Against a hub, GET /sweep names the mounted sweep that needs work
+// (SweepInfo.Path); the worker runs its leases, then polls again,
+// rotating across sweeps as requests come and go. A sweep that vanishes
+// mid-lease (released by its client, or the hub restarted) answers 404
+// to the worker's next heartbeat or delivery: the worker cancels the
+// lease's cell loop via context, drops the undelivered cells, and moves
+// on — the cells belong to nobody now, and recomputing them elsewhere
+// yields identical bytes anyway.
 //
 // Each lease runs the sweep restricted to the leased cells
 // (runner.Options.Include), with a heartbeat goroutine renewing the
 // lease. Computed cells accumulate in an in-memory collector that
-// persists across leases, so multi-phase drivers (appspecific) compute
-// their unleased benchmark window once per worker and reload it from
-// then on. Per-cell failures are reported, not fatal: the coordinator
-// retries them elsewhere or poisons them. Run-level failures are
-// reported as failures of every unfinished leased cell, so a
-// deterministic driver error poisons its cells instead of livelocking
-// the sweep.
+// persists across the sweep's leases, so multi-phase drivers
+// (appspecific) compute their unleased benchmark window once per worker
+// and reload it from then on. Per-cell failures are reported, not
+// fatal: the coordinator retries them elsewhere or poisons them.
+// Run-level failures are reported as failures of every unfinished
+// leased cell, so a deterministic driver error poisons its cells
+// instead of livelocking the sweep.
 func RunWorker(ctx context.Context, baseURL string, opts WorkerOptions) error {
 	if opts.Name == "" {
 		opts.Name = "worker"
@@ -75,11 +103,71 @@ func RunWorker(ctx context.Context, baseURL string, opts WorkerOptions) error {
 		opts.PollInterval = 200 * time.Millisecond
 	}
 	baseURL = strings.TrimRight(baseURL, "/")
+	workerQ := "?worker=" + url.QueryEscape(opts.Name)
 
-	var info SweepInfo
-	if err := getJSON(ctx, opts.Client, baseURL+"/sweep", &info); err != nil {
-		return fmt.Errorf("coord: worker %s: fetch sweep: %w", opts.Name, err)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var info SweepInfo
+		if err := getJSON(ctx, opts.Client, baseURL+"/sweep"+workerQ, &info); err != nil {
+			if opts.Persist && httpx.IsConnErr(err) && ctx.Err() == nil {
+				if err := sleepCtx(ctx, opts.PollInterval); err != nil {
+					return err
+				}
+				continue
+			}
+			return fmt.Errorf("coord: worker %s: fetch sweep: %w", opts.Name, err)
+		}
+		if info.Idle {
+			// A hub with nothing to hand out. Fleets wait for the next
+			// request; one-shot workers are done.
+			if !opts.Persist {
+				return nil
+			}
+			if err := sleepCtx(ctx, opts.PollInterval); err != nil {
+				return err
+			}
+			continue
+		}
+
+		err := runSweep(ctx, baseURL, workerQ, info, opts)
+		hub := info.Path != ""
+		switch {
+		case err == nil:
+			if !hub {
+				return nil // the one sweep is done
+			}
+		case errors.Is(err, errSweepGone), errors.Is(err, errSweepRotate):
+			// Drop and re-poll; the next GET /sweep says what (if
+			// anything) to work on now.
+		case errors.Is(err, ErrCoordinatorGone):
+			if !opts.Persist {
+				return err
+			}
+			if err := sleepCtx(ctx, opts.PollInterval); err != nil {
+				return err
+			}
+		default:
+			return err
+		}
 	}
+}
+
+// runSweep computes one sweep's leases to completion. It returns nil
+// when the sweep is done, errSweepGone/errSweepRotate to send the
+// worker back to the hub poll, or a terminal error.
+func runSweep(ctx context.Context, baseURL, workerQ string, info SweepInfo, opts WorkerOptions) error {
+	base := baseURL + info.Path
+	hub := info.Path != ""
+	ep := func(op string) string {
+		u := base + "/" + op
+		if hub {
+			u += workerQ
+		}
+		return u
+	}
+
 	sw, err := experiments.NewSweep(info.Name, info.Params)
 	if err != nil {
 		return fmt.Errorf("coord: worker %s: rebuild sweep: %w", opts.Name, err)
@@ -108,17 +196,27 @@ func RunWorker(ctx context.Context, baseURL string, opts WorkerOptions) error {
 			return err
 		}
 		var lease LeaseResponse
-		if err := postJSONRetry(ctx, opts.Client, baseURL+"/lease", LeaseRequest{Worker: opts.Name}, &lease); err != nil {
+		if err := postJSONRetry(ctx, opts.Client, ep("lease"), LeaseRequest{Worker: opts.Name}, &lease); err != nil {
+			if isStatus(err, http.StatusNotFound) {
+				return errSweepGone
+			}
 			return fmt.Errorf("coord: worker %s: lease: %w", opts.Name, err)
 		}
 		if lease.Done {
 			return nil
 		}
 		if lease.Wait {
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			case <-time.After(opts.PollInterval):
+			if hub {
+				// Nothing leasable here right now; ask the hub whether some
+				// other sweep needs us before going back to sleep.
+				var pick SweepInfo
+				if err := getJSON(ctx, opts.Client, baseURL+"/sweep"+workerQ, &pick); err == nil &&
+					!pick.Idle && pick.ID != info.ID {
+					return errSweepRotate
+				}
+			}
+			if err := sleepCtx(ctx, opts.PollInterval); err != nil {
+				return err
 			}
 			continue
 		}
@@ -132,7 +230,10 @@ func RunWorker(ctx context.Context, baseURL string, opts WorkerOptions) error {
 
 		// Renew the lease while the cells compute. A Cancel answer means
 		// the lease was reclaimed; we finish and deliver anyway — the
-		// completion dedups — but stop renewing.
+		// completion dedups — but stop renewing. A 404 means the sweep
+		// itself is gone: cancel the cell loop and drop everything.
+		var dropped atomic.Bool
+		leaseCtx, cancelLease := context.WithCancel(ctx)
 		hbCtx, stopHB := context.WithCancel(ctx)
 		var hbWG sync.WaitGroup
 		hbWG.Add(1)
@@ -146,8 +247,13 @@ func RunWorker(ctx context.Context, baseURL string, opts WorkerOptions) error {
 					return
 				case <-t.C:
 					var hb HeartbeatResponse
-					err := postJSON(hbCtx, opts.Client, baseURL+"/heartbeat",
+					err := postJSON(hbCtx, opts.Client, ep("heartbeat"),
 						HeartbeatRequest{Worker: opts.Name, Lease: lease.Lease}, &hb)
+					if isStatus(err, http.StatusNotFound) {
+						dropped.Store(true)
+						cancelLease()
+						return
+					}
 					if err != nil || hb.Cancel {
 						return
 					}
@@ -158,6 +264,7 @@ func RunWorker(ctx context.Context, baseURL string, opts WorkerOptions) error {
 		ro := runner.Options{
 			Workers:    opts.Workers,
 			Checkpoint: collector,
+			Context:    leaseCtx,
 			Include:    func(k int) bool { return leased[k] },
 			OnCellError: func(k int, err error) {
 				failedMu.Lock()
@@ -171,6 +278,7 @@ func RunWorker(ctx context.Context, baseURL string, opts WorkerOptions) error {
 		runErr := sw.Run(ro)
 		stopHB()
 		hbWG.Wait()
+		cancelLease()
 
 		fresh := collector.drain()
 		var ke *killedError
@@ -179,7 +287,13 @@ func RunWorker(ctx context.Context, baseURL string, opts WorkerOptions) error {
 			// what a SIGKILL looks like to the coordinator.
 			return fmt.Errorf("coord: worker %s killed: %w", opts.Name, ke.err)
 		}
-		if runErr != nil {
+		if dropped.Load() {
+			return errSweepGone
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if runErr != nil && !errors.Is(runErr, context.Canceled) {
 			// A run-level failure (driver setup, an unleased phase) felled
 			// every cell this lease still owed. Report them failed so a
 			// deterministic error converges to poisoned cells instead of
@@ -195,9 +309,12 @@ func RunWorker(ctx context.Context, baseURL string, opts WorkerOptions) error {
 			}
 		}
 		var ack CompleteResponse
-		err := postJSONRetry(ctx, opts.Client, baseURL+"/complete",
+		err := postJSONRetry(ctx, opts.Client, ep("complete"),
 			CompleteRequest{Worker: opts.Name, Lease: lease.Lease, Cells: fresh, Failed: failed}, &ack)
 		if err != nil {
+			if isStatus(err, http.StatusNotFound) {
+				return errSweepGone
+			}
 			return fmt.Errorf("coord: worker %s: complete: %w", opts.Name, err)
 		}
 		if ack.Done {
@@ -206,6 +323,22 @@ func RunWorker(ctx context.Context, baseURL string, opts WorkerOptions) error {
 			return nil
 		}
 	}
+}
+
+// sleepCtx pauses for d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(d):
+		return nil
+	}
+}
+
+// isStatus reports whether err is an HTTP answer with the given code.
+func isStatus(err error, code int) bool {
+	var se *httpx.StatusError
+	return errors.As(err, &se) && se.Code == code
 }
 
 // collectStore is the worker's in-memory runner.Checkpoint: it keeps
@@ -271,27 +404,23 @@ func getJSON(ctx context.Context, client *http.Client, url string, out any) erro
 	return httpx.GetJSON(ctx, client, url, out)
 }
 
-// postJSONRetry is httpx.PostJSON with a short retry loop for
-// network-level failures, wrapping persistent unreachability in
-// ErrCoordinatorGone. HTTP-level errors (a non-200 status) are answers,
-// not outages, and return immediately.
+// workerRetry paces the worker's lease/complete calls: per-hop timeouts
+// and capped exponential backoff with jitter, so a fleet re-dialing a
+// restarting coordinator spreads out instead of stampeding.
+var workerRetry = httpx.RetryPolicy{Attempts: 3, Base: 150 * time.Millisecond, Cap: 2 * time.Second, PerTry: 10 * time.Second}
+
+// postJSONRetry is httpx.PostJSON under the worker retry policy,
+// wrapping persistent unreachability in ErrCoordinatorGone. HTTP-level
+// errors (a non-200 status) are answers, not outages, and return
+// immediately.
 func postJSONRetry(ctx context.Context, client *http.Client, url string, in, out any) error {
-	const attempts = 3
-	var err error
-	for i := 0; i < attempts; i++ {
-		if i > 0 {
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			case <-time.After(150 * time.Millisecond):
-			}
-		}
-		err = httpx.PostJSON(ctx, client, url, in, out)
-		if err == nil || !httpx.IsConnErr(err) {
-			return err
-		}
+	err := workerRetry.Do(ctx, func(ctx context.Context) error {
+		return httpx.PostJSON(ctx, client, url, in, out)
+	})
+	if err != nil && httpx.IsConnErr(err) {
+		return fmt.Errorf("%w after %d attempts: %v", ErrCoordinatorGone, workerRetry.Attempts, err)
 	}
-	return fmt.Errorf("%w after %d attempts: %v", ErrCoordinatorGone, attempts, err)
+	return err
 }
 
 func postJSON(ctx context.Context, client *http.Client, url string, in, out any) error {

@@ -41,6 +41,12 @@ type SweepParams struct {
 	Sigma       float64
 	InstanceRaw []byte
 
+	// Schedulers parameterizes the pairwise sweep: the roster whose
+	// off-diagonal (target, base) grid it runs. Order matters — cell
+	// indices map to pairs through it — so it is part of the
+	// fingerprint verbatim.
+	Schedulers []string
+
 	// ChainWorkers bounds intra-cell parallelism (core.Options.Workers /
 	// GAOptions.Workers) inside every annealing cell. It is deliberately
 	// excluded from all fingerprints: results are bit-identical for every
@@ -102,7 +108,7 @@ type Sweep struct {
 }
 
 // SweepNames lists the sweeps NewSweep accepts, in CLI help order.
-var SweepNames = []string{"fig4", "fig7", "fig8", "appspecific", "robustness"}
+var SweepNames = []string{"fig4", "fig7", "fig8", "appspecific", "robustness", "pairwise"}
 
 // NewSweep resolves a sweep name (a checkpointable cmd/figures driver)
 // and its parameters into the fingerprint, cell count, and runnable
@@ -193,6 +199,33 @@ func NewSweep(name string, p SweepParams) (*Sweep, error) {
 			Cells: p.N,
 			Run: func(ro runner.Options) error {
 				_, err := RobustnessRun(inst, s, p.Sigma, p.N, p.Seed, ro)
+				return err
+			},
+		}, nil
+	case "pairwise":
+		// fig4 with a caller-chosen roster: the sweep behind dispatched
+		// /v1/portfolio requests (internal/serve), where the client names
+		// the schedulers. The fingerprint covers the roster verbatim, so
+		// two requests share a sweep exactly when they would compute the
+		// same grid.
+		if len(p.Schedulers) < 2 {
+			return nil, fmt.Errorf("experiments: pairwise sweep needs at least 2 schedulers")
+		}
+		scheds := make([]scheduler.Scheduler, len(p.Schedulers))
+		for i, n := range p.Schedulers {
+			s, err := scheduler.New(n)
+			if err != nil {
+				return nil, err
+			}
+			scheds[i] = s
+		}
+		return &Sweep{
+			Name: name,
+			Fingerprint: fmt.Sprintf("pairwise seed=%d iters=%d restarts=%d schedulers=%s",
+				p.Seed, p.Iters, p.Restarts, strings.Join(p.Schedulers, ",")),
+			Cells: len(scheds) * (len(scheds) - 1),
+			Run: func(ro runner.Options) error {
+				_, err := PairwisePISARun(scheds, PairwiseOptions{Anneal: p.Anneal()}, ro)
 				return err
 			},
 		}, nil

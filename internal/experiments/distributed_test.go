@@ -246,6 +246,7 @@ func TestNewSweepRegistry(t *testing.T) {
 	p := SweepParams{
 		N: 20, Iters: 250, Restarts: 3, Seed: 1, Workflow: "srasearch", CCR: 1.0,
 		Scheduler: "HEFT", Sigma: 0.2, InstanceRaw: raw,
+		Schedulers: []string{"HEFT", "CPoP"},
 	}
 	for _, name := range SweepNames {
 		sw, err := NewSweep(name, p)
@@ -284,6 +285,16 @@ func TestNewSweepRegistry(t *testing.T) {
 	bad.InstanceRaw = nil
 	if _, err := NewSweep("robustness", bad); err == nil {
 		t.Fatal("robustness sweep accepted without instance bytes")
+	}
+	bad = p
+	bad.Schedulers = []string{"HEFT"}
+	if _, err := NewSweep("pairwise", bad); err == nil {
+		t.Fatal("pairwise sweep accepted with fewer than 2 schedulers")
+	}
+	bad = p
+	bad.Schedulers = []string{"HEFT", "NoSuchScheduler"}
+	if _, err := NewSweep("pairwise", bad); err == nil {
+		t.Fatal("pairwise sweep accepted an unknown scheduler")
 	}
 	// ChainWorkers must NOT enter any fingerprint: results are
 	// bit-identical at every worker count, so stores written at different

@@ -1,0 +1,59 @@
+package httpx
+
+import (
+	"crypto/subtle"
+	"net/http"
+)
+
+// Bearer auth is the repo's first authentication step (ROADMAP
+// "TLS/auth"): a single shared secret, presented as an
+// `Authorization: Bearer <token>` header, checked in constant time on
+// both the coordinator and the daemon. It keeps a stray client on a
+// shared network from submitting work or reading results; it is not a
+// substitute for TLS when the token must cross an untrusted link.
+
+// CheckBearer reports whether r carries the expected bearer token. An
+// empty token disables the check (every request passes). The comparison
+// is constant-time so the token cannot be guessed byte by byte.
+func CheckBearer(r *http.Request, token string) bool {
+	if token == "" {
+		return true
+	}
+	const prefix = "Bearer "
+	h := r.Header.Get("Authorization")
+	if len(h) < len(prefix) || h[:len(prefix)] != prefix {
+		return false
+	}
+	return subtle.ConstantTimeCompare([]byte(h[len(prefix):]), []byte(token)) == 1
+}
+
+// NewBearerClient returns a client that attaches the bearer token to
+// every request. A nil base starts from http.DefaultClient; an empty
+// token returns base (or the default client) unchanged.
+func NewBearerClient(base *http.Client, token string) *http.Client {
+	if base == nil {
+		base = http.DefaultClient
+	}
+	if token == "" {
+		return base
+	}
+	c := *base
+	rt := c.Transport
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	c.Transport = &bearerTransport{token: token, next: rt}
+	return &c
+}
+
+type bearerTransport struct {
+	token string
+	next  http.RoundTripper
+}
+
+func (t *bearerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	// Per RoundTripper contract the request is not mutated in place.
+	r2 := req.Clone(req.Context())
+	r2.Header.Set("Authorization", "Bearer "+t.token)
+	return t.next.RoundTrip(r2)
+}

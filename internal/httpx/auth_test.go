@@ -1,0 +1,88 @@
+package httpx
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestCheckBearer(t *testing.T) {
+	req := func(header string) *http.Request {
+		r := httptest.NewRequest("GET", "/", nil)
+		if header != "" {
+			r.Header.Set("Authorization", header)
+		}
+		return r
+	}
+	cases := []struct {
+		name   string
+		header string
+		token  string
+		want   bool
+	}{
+		{"empty token admits everyone", "", "", true},
+		{"empty token ignores headers", "Bearer whatever", "", true},
+		{"matching token", "Bearer s3cret", "s3cret", true},
+		{"missing header", "", "s3cret", false},
+		{"wrong token", "Bearer nope", "s3cret", false},
+		{"wrong scheme", "Basic s3cret", "s3cret", false},
+		{"token is a prefix", "Bearer s3cret-and-more", "s3cret", false},
+		{"header is a prefix", "Bearer s3c", "s3cret", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := CheckBearer(req(tc.header), tc.token); got != tc.want {
+				t.Fatalf("CheckBearer(%q, %q) = %v, want %v", tc.header, tc.token, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestNewBearerClientAttachesToken(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !CheckBearer(r, "s3cret") {
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			return
+		}
+		WriteJSON(w, map[string]bool{"ok": true})
+	}))
+	defer srv.Close()
+
+	var out map[string]bool
+	if err := GetJSON(context.Background(), NewBearerClient(nil, "s3cret"), srv.URL, &out); err != nil || !out["ok"] {
+		t.Fatalf("authed call: %v %v", out, err)
+	}
+	if err := GetJSON(context.Background(), NewBearerClient(nil, ""), srv.URL, &out); err == nil {
+		t.Fatal("tokenless client passed a guarded endpoint")
+	}
+}
+
+func TestNewBearerClientEmptyTokenReturnsBase(t *testing.T) {
+	base := &http.Client{}
+	if got := NewBearerClient(base, ""); got != base {
+		t.Fatal("empty token should return the base client unchanged")
+	}
+	if got := NewBearerClient(nil, ""); got != http.DefaultClient {
+		t.Fatal("nil base + empty token should be http.DefaultClient")
+	}
+}
+
+func TestBearerTransportDoesNotMutateRequest(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, map[string]bool{"ok": true})
+	}))
+	defer srv.Close()
+	req, err := http.NewRequest("GET", srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := NewBearerClient(nil, "tok").Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if req.Header.Get("Authorization") != "" {
+		t.Fatal("RoundTrip mutated the caller's request headers")
+	}
+}

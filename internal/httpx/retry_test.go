@@ -1,0 +1,125 @@
+package httpx
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDelayScheduleGrowsAndCaps(t *testing.T) {
+	p := RetryPolicy{Base: 100 * time.Millisecond, Cap: 800 * time.Millisecond, Jitter: -1}
+	wants := []time.Duration{100, 200, 400, 800, 800, 800}
+	for i, want := range wants {
+		if got := p.Delay(i); got != want*time.Millisecond {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, want*time.Millisecond)
+		}
+	}
+}
+
+func TestDelayJitterIsDeterministicAndBounded(t *testing.T) {
+	p := RetryPolicy{Base: 100 * time.Millisecond, Cap: time.Second, Jitter: 0.25, Seed: 7}
+	for i := 0; i < 5; i++ {
+		d1, d2 := p.Delay(i), p.Delay(i)
+		if d1 != d2 {
+			t.Fatalf("Delay(%d) not deterministic: %v vs %v", i, d1, d2)
+		}
+		base := RetryPolicy{Base: p.Base, Cap: p.Cap, Jitter: -1}.Delay(i)
+		if d1 < base || d1 >= base+time.Duration(0.25*float64(base))+time.Nanosecond {
+			t.Fatalf("Delay(%d) = %v outside [%v, %v·1.25)", i, d1, base, base)
+		}
+	}
+	// Different seeds spread the fleet: at least one attempt differs.
+	q := p
+	q.Seed = 8
+	same := true
+	for i := 0; i < 5; i++ {
+		if p.Delay(i) != q.Delay(i) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two seeds produced an identical backoff schedule; no de-stampeding")
+	}
+}
+
+func TestDoRetriesOutagesNotAnswers(t *testing.T) {
+	noSleep := func(ctx context.Context, d time.Duration) error { return nil }
+
+	// A connection error is retried until the budget runs out...
+	calls := 0
+	p := RetryPolicy{Attempts: 3, sleep: noSleep} // default Retryable: IsConnErr
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		return &net.OpError{Op: "dial", Err: errors.New("connection refused")}
+	})
+	if calls != 3 || err == nil {
+		t.Fatalf("outage: %d calls (want 3), err %v", calls, err)
+	}
+
+	// ...an HTTP answer is final on the first try.
+	calls = 0
+	err = p.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		return &StatusError{Code: http.StatusConflict, Status: "409"}
+	})
+	var se *StatusError
+	if calls != 1 || !errors.As(err, &se) {
+		t.Fatalf("answer retried: %d calls, err %v", calls, err)
+	}
+
+	// ...and success stops immediately.
+	calls = 0
+	if err := p.Do(context.Background(), func(ctx context.Context) error { calls++; return nil }); err != nil || calls != 1 {
+		t.Fatalf("success: %d calls, err %v", calls, err)
+	}
+}
+
+func TestDoPerTryTimeoutBoundsAHungPeer(t *testing.T) {
+	var hits atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		<-r.Context().Done() // hang until the per-try timeout fires
+	}))
+	defer srv.Close()
+
+	p := RetryPolicy{
+		Attempts: 2, PerTry: 50 * time.Millisecond,
+		sleep: func(ctx context.Context, d time.Duration) error { return nil },
+	}
+	start := time.Now()
+	var out struct{}
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		return GetJSON(ctx, http.DefaultClient, srv.URL, &out)
+	})
+	if err == nil {
+		t.Fatal("hung peer reported success")
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("hung peer tried %d times, want 2", got)
+	}
+	if e := time.Since(start); e > 2*time.Second {
+		t.Fatalf("per-try timeout did not bound the hang: %v elapsed", e)
+	}
+}
+
+func TestDoCancelledMidBackoffReturnsLastRealError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := RetryPolicy{
+		Attempts:  5,
+		Retryable: func(error) bool { return true },
+		sleep: func(ctx context.Context, d time.Duration) error {
+			cancel()
+			return ctx.Err()
+		},
+	}
+	opErr := errors.New("the real failure")
+	err := p.Do(ctx, func(ctx context.Context) error { return opErr })
+	if !errors.Is(err, opErr) {
+		t.Fatalf("cancellation hid the real failure: %v", err)
+	}
+}

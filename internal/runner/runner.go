@@ -26,6 +26,7 @@
 package runner
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"runtime"
@@ -61,6 +62,15 @@ type Options struct {
 	// their zero values (unless the checkpoint store supplies them) and
 	// are not counted in Progress totals.
 	Include func(index int) bool
+	// Context, when non-nil, aborts the sweep on cancellation: no new
+	// cells are dispatched once the context is done, in-flight cells run
+	// to completion (and are still checkpointed — a cancelled run leaves
+	// a resumable store, never a corrupt one), and Map returns the
+	// context's error. Cancellation is how a dispatched sweep propagates
+	// a client disconnect down to the cell loop: the daemon cancels, the
+	// worker's lease context fires, and the worker stops mid-lease
+	// without delivering partial work it no longer owns.
+	Context context.Context
 	// OnCellError, when non-nil, turns per-cell failures from sweep
 	// aborts into reports: a failing cell (error or recovered panic) is
 	// passed to the callback, keeps its zero value, is not checkpointed,
@@ -319,6 +329,9 @@ func MapState[T, S any](n int, opts Options, newState func() S, fn func(index in
 			defer wg.Done()
 			state := newState()
 			for {
+				if opts.Context != nil && opts.Context.Err() != nil {
+					return
+				}
 				mu.Lock()
 				for next < n && done[next] {
 					next++
@@ -382,6 +395,11 @@ func MapState[T, S any](n int, opts Options, newState func() S, fn func(index in
 			}
 		}
 		return nil, first
+	}
+	if opts.Context != nil {
+		if err := opts.Context.Err(); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

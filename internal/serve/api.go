@@ -84,17 +84,16 @@ type RobustnessResponse struct {
 
 // Client is the thin client the CLI subcommands (and the e2e/load
 // harnesses) speak to a running daemon with. The zero HTTPClient means
-// http.DefaultClient.
+// http.DefaultClient; Token, when set, is presented as a bearer token
+// on every call (the daemon's -token).
 type Client struct {
 	BaseURL    string
 	HTTPClient *http.Client
+	Token      string
 }
 
 func (c *Client) client() *http.Client {
-	if c.HTTPClient != nil {
-		return c.HTTPClient
-	}
-	return http.DefaultClient
+	return httpx.NewBearerClient(c.HTTPClient, c.Token)
 }
 
 // Schedule submits a ScheduleRequest.

@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"saga/internal/coord"
+)
+
+// TestChaosSmokeE2E is the process-level chaos drill for the dispatch
+// layer: a real `saga serve -coordinator` daemon farming requests
+// through a real `saga coordinate -hub` to three real `saga worker
+// -persist` processes — with the hub SIGKILLed and restarted on the
+// same port mid-request, one worker SIGKILLed mid-sweep, and bearer
+// tokens on every coordinator hop. Every response must be
+// byte-identical to in-process local execution, nothing may degrade,
+// and a SIGTERM must drain each process to a clean exit 0. It builds
+// the saga binary and forks processes, so it only runs when
+// CHAOS_SMOKE=1 (wired up as `make chaos-smoke`, part of
+// `make verify`).
+func TestChaosSmokeE2E(t *testing.T) {
+	if os.Getenv("CHAOS_SMOKE") != "1" {
+		t.Skip("set CHAOS_SMOKE=1 to run the process-level dispatch chaos drill")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "saga")
+	build := exec.Command("go", "build", "-o", bin, "saga/cmd/saga")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build saga: %v\n%s", err, out)
+	}
+	const token = "chaos-secret"
+	urlRe := regexp.MustCompile(`on (http://[0-9.:]+)`)
+
+	// start launches a process and scrapes the "… on http://host:port"
+	// line from its stdout, draining the rest in the background.
+	start := func(args ...string) (*exec.Cmd, string) {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(stdout)
+		var url string
+		for sc.Scan() {
+			if m := urlRe.FindStringSubmatch(sc.Text()); m != nil {
+				url = m[1]
+				break
+			}
+		}
+		if url == "" {
+			cmd.Process.Kill()
+			t.Fatalf("%v never printed its address (scan error: %v)", args, sc.Err())
+		}
+		go func() {
+			for sc.Scan() {
+			}
+		}()
+		return cmd, url
+	}
+
+	hubArgs := []string{"coordinate", "-hub", "-token", token, "-lease", "4", "-lease-ttl", "1s"}
+	hub1, hubURL := start(append(hubArgs, "-addr", "127.0.0.1:0")...)
+	defer hub1.Process.Kill()
+	hubAddr := strings.TrimPrefix(hubURL, "http://")
+
+	daemon, daemonURL := start("serve", "-addr", "127.0.0.1:0",
+		"-coordinator", hubURL, "-coordinator-token", token, "-degrade-window", "60s")
+	defer daemon.Process.Kill()
+
+	// In-process local twin: the byte-identity reference.
+	local := httptest.NewServer(New(Options{}))
+	defer local.Close()
+
+	reqs := []struct {
+		name, path string
+		body       []byte
+	}{
+		{"portfolio-a", "/v1/portfolio", mustMarshal(t, PortfolioRequest{
+			Schedulers: []string{"HEFT", "CPoP", "MinMin"}, K: 2, Iters: 120, Restarts: 1, Seed: 41})},
+		{"portfolio-b", "/v1/portfolio", mustMarshal(t, PortfolioRequest{
+			Schedulers: []string{"HEFT", "CPoP", "ETF"}, K: 2, Iters: 120, Restarts: 1, Seed: 43})},
+		{"robustness-a", "/v1/robustness", mustMarshal(t, RobustnessRequest{
+			Scheduler: "HEFT", Instance: testInstance(t, 61), Sigma: 0.3, N: 400, Seed: 11})},
+		{"robustness-b", "/v1/robustness", mustMarshal(t, RobustnessRequest{
+			Scheduler: "CPoP", Instance: testInstance(t, 67), Sigma: 0.2, N: 400, Seed: 13})},
+	}
+	want := make([][]byte, len(reqs))
+	for i, rq := range reqs {
+		resp, body := postRaw(t, local.URL, rq.path, rq.body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("local twin %s: status %d: %s", rq.name, resp.StatusCode, body)
+		}
+		want[i] = body
+	}
+
+	// Fire every request before any worker exists: the sweeps mount on
+	// the hub and sit pending, so the restart below is guaranteed to
+	// land mid-request.
+	results := make([]<-chan postResult, len(reqs))
+	for i, rq := range reqs {
+		results[i] = postAsync(daemonURL, rq.path, rq.body)
+	}
+	hubStatusAuthed := func() coord.Status {
+		var st coord.Status
+		req, err := http.NewRequest(http.MethodGet, "http://"+hubAddr+"/status", nil)
+		if err != nil {
+			return st
+		}
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return st
+		}
+		defer resp.Body.Close()
+		json.NewDecoder(resp.Body).Decode(&st)
+		return st
+	}
+	deadline := time.Now().Add(time.Minute)
+	for hubStatusAuthed().Sweeps < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never registered its sweeps on the hub")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Coordinator crash: SIGKILL the hub and restart it on the same
+	// port, state gone. The daemon's status polls answer 404 and it
+	// re-registers onto the same content-hash sweep ids.
+	hub1.Process.Kill()
+	hub1.Wait()
+	t.Log("SIGKILLed the hub mid-request; restarting on", hubAddr)
+	var hub2 *exec.Cmd
+	restart := time.Now().Add(30 * time.Second)
+	for {
+		cmd := exec.Command(bin, append(hubArgs, "-addr", hubAddr)...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(100 * time.Millisecond)
+		if cmd.ProcessState == nil && hubStatusAuthed().Name == "hub" {
+			hub2 = cmd
+			break
+		}
+		cmd.Process.Kill()
+		cmd.Wait()
+		if time.Now().After(restart) {
+			t.Fatalf("could not restart the hub on %s", hubAddr)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	defer hub2.Process.Kill()
+	deadline = time.Now().Add(time.Minute)
+	for hubStatusAuthed().Sweeps < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never re-registered after the hub restart")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Now attach the fleet and let it chew; once the grid is moving,
+	// SIGKILL one worker outright — its leases expire and the survivors
+	// reclaim the cells.
+	workers := make([]*exec.Cmd, 3)
+	for i := range workers {
+		workers[i] = exec.Command(bin, "worker", "-coordinator", "http://"+hubAddr,
+			"-token", token, "-persist", "-name", fmt.Sprintf("chaos-w%d", i))
+		workers[i].Stdout = os.Stderr
+		workers[i].Stderr = os.Stderr
+		if err := workers[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer workers[i].Process.Kill()
+	}
+	deadline = time.Now().Add(2 * time.Minute)
+	for {
+		st := hubStatusAuthed()
+		if st.Committed >= 8 || st.Sweeps == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet never made progress: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	workers[0].Process.Kill()
+	workers[0].Wait()
+	t.Log("SIGKILLed worker chaos-w0 mid-sweep")
+
+	for i, rq := range reqs {
+		res := <-results[i]
+		if res.err != nil {
+			t.Fatalf("%s: %v", rq.name, res.err)
+		}
+		if res.status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", rq.name, res.status, res.body)
+		}
+		if !bytes.Equal(res.body, want[i]) {
+			t.Fatalf("%s diverged from local under chaos (%d vs %d bytes)", rq.name, len(res.body), len(want[i]))
+		}
+	}
+	snap := metricsSnapshot(t, daemonURL)
+	if snap.Dispatch.Dispatched != uint64(len(reqs)) || len(snap.Dispatch.Degraded) != 0 {
+		t.Fatalf("chaos broke the dispatch path: %+v", snap.Dispatch)
+	}
+	if snap.Dispatch.Reregistered < 1 {
+		t.Fatal("hub restart went unnoticed: no re-registrations")
+	}
+
+	// Graceful drains: SIGTERM must walk every process out with exit 0.
+	drain := func(name string, cmd *exec.Cmd) {
+		t.Helper()
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatalf("SIGTERM %s: %v", name, err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("%s exited dirty after SIGTERM: %v", name, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("%s did not drain after SIGTERM", name)
+		}
+	}
+	drain("daemon", daemon)
+	for i, w := range workers[1:] {
+		drain(fmt.Sprintf("worker-%d", i+1), w)
+	}
+	drain("hub", hub2)
+}

@@ -1,0 +1,502 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"saga/internal/coord"
+	"saga/internal/coord/faultinject"
+)
+
+// --- dispatch harness --------------------------------------------------
+
+func startHub(t *testing.T, opts coord.HubOptions) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(coord.NewHub(opts))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// startWorker runs one persistent fleet member until ctx is cancelled
+// (or its fault plan kills it — both are expected exits here).
+func startWorker(ctx context.Context, wg *sync.WaitGroup, hubURL, name string, plan faultinject.Plan) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = coord.RunWorker(ctx, hubURL, coord.WorkerOptions{
+			Name:         name,
+			Workers:      1,
+			Persist:      true,
+			PollInterval: 10 * time.Millisecond,
+			Client:       &http.Client{Transport: plan.Transport(nil)},
+			OnCellStored: plan.Hook(),
+		})
+	}()
+}
+
+func hubStatus(t *testing.T, hubURL string) coord.Status {
+	t.Helper()
+	resp, err := http.Get(hubURL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st coord.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitHub(t *testing.T, hubURL string, ok func(coord.Status) bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if st := hubStatus(t, hubURL); ok(st) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hub never reached %s: %+v", what, hubStatus(t, hubURL))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// postResult is a goroutine-safe postRaw: no t.Fatal off the test
+// goroutine.
+type postResult struct {
+	status int
+	body   []byte
+	err    error
+}
+
+func postAsync(url, path string, body []byte) <-chan postResult {
+	ch := make(chan postResult, 1)
+	go func() {
+		resp, err := http.Post(url+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			ch <- postResult{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		_, err = buf.ReadFrom(resp.Body)
+		ch <- postResult{status: resp.StatusCode, body: buf.Bytes(), err: err}
+	}()
+	return ch
+}
+
+var wfcFixture = json.RawMessage(`{
+	"name": "diamond",
+	"schemaVersion": "1.4",
+	"workflow": {
+		"tasks": [
+			{"name": "a", "id": "a", "runtimeInSeconds": 1, "parents": []},
+			{"name": "b", "id": "b", "runtimeInSeconds": 2, "parents": ["a"]},
+			{"name": "c", "id": "c", "runtimeInSeconds": 3, "parents": ["a"]},
+			{"name": "d", "id": "d", "runtimeInSeconds": 1, "parents": ["b", "c"]}
+		],
+		"machines": [
+			{"nodeName": "m0", "speed": 1},
+			{"nodeName": "m1", "speed": 2}
+		]
+	}
+}`)
+
+// --- the suite ---------------------------------------------------------
+
+// TestDispatchByteIdentity is the tentpole contract: a daemon wired to
+// a coordinator hub with a live fleet answers portfolio and robustness
+// requests (raw-instance and WfCommons alike) byte-for-byte identically
+// to a local-only daemon — while holding zero admission slots, since
+// the cells are computed by the fleet.
+func TestDispatchByteIdentity(t *testing.T) {
+	hub := startHub(t, coord.HubOptions{})
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	defer func() { cancel(); wg.Wait() }()
+	startWorker(ctx, &wg, hub.URL, "w0", faultinject.Plan{})
+	startWorker(ctx, &wg, hub.URL, "w1", faultinject.Plan{})
+
+	disp := New(Options{MaxConcurrent: 1, Coordinator: hub.URL,
+		DispatchPoll: 10 * time.Millisecond, DegradeWindow: 30 * time.Second})
+	dispTS := httptest.NewServer(disp)
+	defer dispTS.Close()
+	local := New(Options{})
+	localTS := httptest.NewServer(local)
+	defer localTS.Close()
+
+	// Occupy the dispatch daemon's only compute slot for the whole test:
+	// dispatched requests must not need it.
+	disp.sem <- struct{}{}
+	defer func() { <-disp.sem }()
+
+	reqs := []struct {
+		name, path string
+		body       []byte
+	}{
+		{"portfolio", "/v1/portfolio", mustMarshal(t, PortfolioRequest{
+			Schedulers: []string{"HEFT", "CPoP", "MinMin"}, K: 2, Iters: 40, Restarts: 1, Seed: 7})},
+		{"robustness-instance", "/v1/robustness", mustMarshal(t, RobustnessRequest{
+			Scheduler: "HEFT", Instance: testInstance(t, 11), Sigma: 0.3, N: 24, Seed: 9})},
+		{"robustness-wfc", "/v1/robustness", mustMarshal(t, RobustnessRequest{
+			Scheduler: "CPoP", WfC: wfcFixture, Link: 1, Sigma: 0.2, N: 16, Seed: 4})},
+	}
+	for _, rq := range reqs {
+		t.Run(rq.name, func(t *testing.T) {
+			wantResp, want := postRaw(t, localTS.URL, rq.path, rq.body)
+			if wantResp.StatusCode != http.StatusOK {
+				t.Fatalf("local twin: status %d: %s", wantResp.StatusCode, want)
+			}
+			gotResp, got := postRaw(t, dispTS.URL, rq.path, rq.body)
+			if gotResp.StatusCode != http.StatusOK {
+				t.Fatalf("dispatched: status %d: %s", gotResp.StatusCode, got)
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("dispatched response diverged from local:\nlocal      %s\ndispatched %s", want, got)
+			}
+		})
+	}
+
+	snap := metricsSnapshot(t, dispTS.URL)
+	if snap.Dispatch.Dispatched != uint64(len(reqs)) {
+		t.Fatalf("dispatched = %d, want %d", snap.Dispatch.Dispatched, len(reqs))
+	}
+	if len(snap.Dispatch.Degraded) != 0 {
+		t.Fatalf("healthy fleet degraded: %v", snap.Dispatch.Degraded)
+	}
+	// Every sweep reference was released once its cells were fetched.
+	waitHub(t, hub.URL, func(st coord.Status) bool { return st.Sweeps == 0 }, "0 sweeps")
+}
+
+// TestDispatchChaosSurvivesFleetAndCoordinatorFailure drives concurrent
+// requests through every failure mode the dispatch layer claims to
+// survive: the coordinator restarts (losing all state) mid-request, one
+// worker is killed mid-lease, one drops every heartbeat, one delivers
+// every completion twice — and each response must still be
+// byte-identical to local execution, with zero degradations.
+func TestDispatchChaosSurvivesFleetAndCoordinatorFailure(t *testing.T) {
+	hubOpts := coord.HubOptions{Sweep: coord.Options{LeaseSize: 2, LeaseTTL: 500 * time.Millisecond}}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	hubURL := "http://" + addr
+	srv1 := &http.Server{Handler: coord.NewHub(hubOpts)}
+	go srv1.Serve(ln)
+
+	disp := New(Options{Coordinator: hubURL,
+		DispatchPoll: 10 * time.Millisecond, DegradeWindow: 30 * time.Second})
+	dispTS := httptest.NewServer(disp)
+	defer dispTS.Close()
+	local := New(Options{})
+	localTS := httptest.NewServer(local)
+	defer localTS.Close()
+
+	reqs := []struct {
+		name, path string
+		body       []byte
+	}{
+		{"portfolio-a", "/v1/portfolio", mustMarshal(t, PortfolioRequest{
+			Schedulers: []string{"HEFT", "CPoP", "MinMin"}, K: 2, Iters: 60, Restarts: 1, Seed: 13})},
+		{"portfolio-b", "/v1/portfolio", mustMarshal(t, PortfolioRequest{
+			Schedulers: []string{"HEFT", "CPoP", "ETF"}, K: 2, Iters: 60, Restarts: 1, Seed: 29})},
+		{"robustness-a", "/v1/robustness", mustMarshal(t, RobustnessRequest{
+			Scheduler: "HEFT", Instance: testInstance(t, 17), Sigma: 0.25, N: 60, Seed: 3})},
+		{"robustness-b", "/v1/robustness", mustMarshal(t, RobustnessRequest{
+			Scheduler: "MinMin", Instance: testInstance(t, 23), Sigma: 0.4, N: 60, Seed: 5})},
+	}
+	// Reference answers first, from the untouched local twin.
+	want := make([][]byte, len(reqs))
+	for i, rq := range reqs {
+		resp, body := postRaw(t, localTS.URL, rq.path, rq.body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("local twin %s: status %d: %s", rq.name, resp.StatusCode, body)
+		}
+		want[i] = body
+	}
+
+	// Fire all requests concurrently with no fleet attached: the sweeps
+	// mount and sit pending, guaranteeing the restart below happens
+	// mid-request.
+	results := make([]<-chan postResult, len(reqs))
+	for i, rq := range reqs {
+		results[i] = postAsync(dispTS.URL, rq.path, rq.body)
+	}
+	waitHub(t, hubURL, func(st coord.Status) bool { return st.Sweeps >= 1 }, "mounted sweeps")
+
+	// Coordinator crash: close the hub, rebind the same address with a
+	// brand-new (empty) one. The daemons' status polls answer 404 and
+	// they must re-register onto the same content-hash ids.
+	srv1.Close()
+	var ln2 net.Listener
+	rebind := time.Now().Add(10 * time.Second)
+	for {
+		ln2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(rebind) {
+			t.Fatalf("could not rebind %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	srv2 := &http.Server{Handler: coord.NewHub(hubOpts)}
+	go srv2.Serve(ln2)
+	defer srv2.Close()
+	waitHub(t, hubURL, func(st coord.Status) bool { return st.Sweeps >= 1 }, "re-registered sweeps")
+
+	// Now attach the misbehaving fleet: one worker dies after two cells,
+	// one never heartbeats (its leases expire and reassign), one delivers
+	// everything twice, one is healthy. Delays shuffle deliveries.
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	defer func() { cancel(); wg.Wait() }()
+	startWorker(ctx, &wg, hubURL, "w-kill", faultinject.Plan{Seed: 1, MaxDelay: 2 * time.Millisecond, KillAfterCells: 2})
+	startWorker(ctx, &wg, hubURL, "w-mute", faultinject.Plan{Seed: 2, MaxDelay: 2 * time.Millisecond, DropHeartbeats: true})
+	startWorker(ctx, &wg, hubURL, "w-dup", faultinject.Plan{Seed: 3, MaxDelay: 2 * time.Millisecond, DuplicateCompletions: true})
+	startWorker(ctx, &wg, hubURL, "w-ok", faultinject.Plan{})
+
+	for i, rq := range reqs {
+		res := <-results[i]
+		if res.err != nil {
+			t.Fatalf("%s: %v", rq.name, res.err)
+		}
+		if res.status != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", rq.name, res.status, res.body)
+		}
+		if !bytes.Equal(res.body, want[i]) {
+			t.Fatalf("%s diverged under chaos:\nlocal      %s\ndispatched %s", rq.name, want[i], res.body)
+		}
+	}
+
+	snap := metricsSnapshot(t, dispTS.URL)
+	if snap.Dispatch.Dispatched != uint64(len(reqs)) {
+		t.Fatalf("dispatched = %d, want %d (degraded: %v)", snap.Dispatch.Dispatched, len(reqs), snap.Dispatch.Degraded)
+	}
+	if len(snap.Dispatch.Degraded) != 0 {
+		t.Fatalf("chaos forced degradation: %v", snap.Dispatch.Degraded)
+	}
+	if snap.Dispatch.Reregistered < 1 {
+		t.Fatal("coordinator restart went unnoticed: no re-registrations")
+	}
+	waitHub(t, hubURL, func(st coord.Status) bool { return st.Sweeps == 0 }, "0 sweeps after drain")
+}
+
+// TestDispatchClientDisconnectReleasesSweep: cancellation propagates
+// from the client's socket to the hub — the sweep is released so
+// workers' heartbeats answer 404 and the cells are dropped, and the
+// daemon's gauges return to idle.
+func TestDispatchClientDisconnectReleasesSweep(t *testing.T) {
+	hub := startHub(t, coord.HubOptions{})
+	disp := New(Options{Coordinator: hub.URL,
+		DispatchPoll: 10 * time.Millisecond, DegradeWindow: 30 * time.Second})
+	dispTS := httptest.NewServer(disp)
+	defer dispTS.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	body := mustMarshal(t, PortfolioRequest{
+		Schedulers: []string{"HEFT", "CPoP", "MinMin"}, K: 2, Iters: 50, Restarts: 1, Seed: 21})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, dispTS.URL+"/v1/portfolio", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+
+	// No workers exist, so the sweep sits mounted until the client walks
+	// away mid-request.
+	waitHub(t, hub.URL, func(st coord.Status) bool { return st.Sweeps == 1 }, "1 mounted sweep")
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("cancelled request reported success")
+	}
+
+	waitHub(t, hub.URL, func(st coord.Status) bool { return st.Sweeps == 0 }, "sweep released after disconnect")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap := metricsSnapshot(t, dispTS.URL)
+		if snap.Dispatch.Canceled == 1 && snap.Admission.Inflight == 0 {
+			if snap.Dispatch.Dispatched != 0 || len(snap.Dispatch.Degraded) != 0 {
+				t.Fatalf("cancellation misclassified: %+v", snap.Dispatch)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never settled after disconnect: %+v", snap)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDispatchDegradesToLocalWhenNoWorkers: a capacity drought is never
+// a client error — after DegradeWindow with no worker contact the
+// daemon computes locally, answers identically, counts the fallback,
+// and gives the sweep back.
+func TestDispatchDegradesToLocalWhenNoWorkers(t *testing.T) {
+	hub := startHub(t, coord.HubOptions{})
+	disp := New(Options{Coordinator: hub.URL,
+		DispatchPoll: 20 * time.Millisecond, DegradeWindow: 150 * time.Millisecond})
+	dispTS := httptest.NewServer(disp)
+	defer dispTS.Close()
+	local := New(Options{})
+	localTS := httptest.NewServer(local)
+	defer localTS.Close()
+
+	body := mustMarshal(t, PortfolioRequest{
+		Schedulers: []string{"HEFT", "CPoP"}, K: 1, Iters: 30, Restarts: 1, Seed: 2})
+	_, want := postRaw(t, localTS.URL, "/v1/portfolio", body)
+	resp, got := postRaw(t, dispTS.URL, "/v1/portfolio", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded request failed the client: status %d: %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("degraded response diverged from local:\nlocal    %s\ndegraded %s", want, got)
+	}
+
+	snap := metricsSnapshot(t, dispTS.URL)
+	if snap.Dispatch.Degraded["no-workers"] != 1 || snap.Dispatch.Dispatched != 0 {
+		t.Fatalf("degradation not accounted: %+v", snap.Dispatch)
+	}
+	waitHub(t, hub.URL, func(st coord.Status) bool { return st.Sweeps == 0 }, "sweep released after degrade")
+}
+
+// TestDispatchDegradesToLocalWhenHubUnreachable: same contract when the
+// coordinator address answers to nobody at all.
+func TestDispatchDegradesToLocalWhenHubUnreachable(t *testing.T) {
+	disp := New(Options{Coordinator: "http://127.0.0.1:1",
+		DispatchPoll: 10 * time.Millisecond, DegradeWindow: 100 * time.Millisecond})
+	dispTS := httptest.NewServer(disp)
+	defer dispTS.Close()
+	local := New(Options{})
+	localTS := httptest.NewServer(local)
+	defer localTS.Close()
+
+	body := mustMarshal(t, RobustnessRequest{
+		Scheduler: "HEFT", Instance: testInstance(t, 31), Sigma: 0.2, N: 12, Seed: 6})
+	_, want := postRaw(t, localTS.URL, "/v1/robustness", body)
+	resp, got := postRaw(t, dispTS.URL, "/v1/robustness", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unreachable hub failed the client: status %d: %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("response diverged:\nlocal %s\ngot   %s", want, got)
+	}
+	snap := metricsSnapshot(t, dispTS.URL)
+	if snap.Dispatch.Degraded["unreachable"] != 1 {
+		t.Fatalf("unreachable fallback not accounted: %+v", snap.Dispatch)
+	}
+}
+
+// TestDaemonBearerAuth: with -token set, every endpoint except /healthz
+// refuses tokenless callers, rejections are counted, and the thin
+// client's Token field opens the door.
+func TestDaemonBearerAuth(t *testing.T) {
+	s := New(Options{Token: "hunter2"})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	resp, body := postRaw(t, ts.URL, "/v1/schedule",
+		mustMarshal(t, ScheduleRequest{Scheduler: "HEFT", Instance: testInstance(t, 2)}))
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless schedule: status %d: %s", resp.StatusCode, body)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless metrics: status %d", mresp.StatusCode)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz must stay open for probes: status %d", hresp.StatusCode)
+	}
+
+	c := &Client{BaseURL: ts.URL, Token: "hunter2"}
+	out, err := c.Schedule(context.Background(), ScheduleRequest{Scheduler: "HEFT", Instance: testInstance(t, 2)})
+	if err != nil || out.Makespan <= 0 {
+		t.Fatalf("authed client: %+v, %v", out, err)
+	}
+	snap, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.AuthRejected != 2 {
+		t.Fatalf("auth_rejected = %d, want 2", snap.AuthRejected)
+	}
+}
+
+// TestAdmissionSaturationShedsAndDrains is the sweep-endpoint twin of
+// TestAdmissionSaturation: with every compute slot held, local
+// portfolio and robustness requests queue, shed with 503 after
+// QueueTimeout, and once the slot frees the daemon drains back to a
+// zero inflight gauge.
+func TestAdmissionSaturationShedsAndDrains(t *testing.T) {
+	s := New(Options{MaxConcurrent: 1, QueueTimeout: 50 * time.Millisecond})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	portfolio := mustMarshal(t, PortfolioRequest{Schedulers: []string{"HEFT", "CPoP"}, K: 1, Iters: 20, Restarts: 1, Seed: 8})
+	robustness := mustMarshal(t, RobustnessRequest{Scheduler: "HEFT", Instance: testInstance(t, 7), Sigma: 0.2, N: 10, Seed: 3})
+
+	s.sem <- struct{}{} // saturate the only compute slot
+	shed := []<-chan postResult{
+		postAsync(ts.URL, "/v1/portfolio", portfolio),
+		postAsync(ts.URL, "/v1/robustness", robustness),
+	}
+	for i, ch := range shed {
+		res := <-ch
+		if res.err != nil {
+			t.Fatalf("request %d: %v", i, res.err)
+		}
+		if res.status != http.StatusServiceUnavailable {
+			t.Fatalf("request %d admitted past a full pool: status %d: %s", i, res.status, res.body)
+		}
+		if !bytes.Contains(res.body, []byte("saturated")) {
+			t.Fatalf("request %d 503 body should say why: %s", i, res.body)
+		}
+	}
+	<-s.sem
+
+	for _, rq := range []struct {
+		path string
+		body []byte
+	}{
+		{"/v1/portfolio", portfolio}, {"/v1/robustness", robustness},
+	} {
+		if resp, body := postRaw(t, ts.URL, rq.path, rq.body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s after drain: status %d: %s", rq.path, resp.StatusCode, body)
+		}
+	}
+
+	snap := metricsSnapshot(t, ts.URL)
+	if snap.Admission.Rejected != 2 {
+		t.Fatalf("rejected = %d, want 2", snap.Admission.Rejected)
+	}
+	if snap.Admission.Inflight != 0 {
+		t.Fatalf("inflight gauge stuck at %d after drain", snap.Admission.Inflight)
+	}
+}

@@ -65,10 +65,16 @@ type Metrics struct {
 	endpoints map[string]*endpointMetrics
 	rejected  uint64
 	inflight  int
+
+	authRejected uint64
+	dispatched   uint64
+	reregistered uint64
+	dispCanceled uint64
+	degraded     map[string]uint64
 }
 
 func newMetrics() *Metrics {
-	return &Metrics{start: time.Now(), endpoints: map[string]*endpointMetrics{}}
+	return &Metrics{start: time.Now(), endpoints: map[string]*endpointMetrics{}, degraded: map[string]uint64{}}
 }
 
 func (m *Metrics) record(endpoint string, d time.Duration, failed bool) {
@@ -92,6 +98,53 @@ func (m *Metrics) addInflight(delta int) {
 	m.mu.Lock()
 	m.inflight += delta
 	m.mu.Unlock()
+}
+
+func (m *Metrics) authReject() {
+	m.mu.Lock()
+	m.authRejected++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) dispatchDone() {
+	m.mu.Lock()
+	m.dispatched++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) dispatchDegraded(reason string) {
+	m.mu.Lock()
+	m.degraded[reason]++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) dispatchReregistered() {
+	m.mu.Lock()
+	m.reregistered++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) dispatchCanceled() {
+	m.mu.Lock()
+	m.dispCanceled++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) dispatchSnapshot() (DispatchStats, uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := DispatchStats{
+		Dispatched:   m.dispatched,
+		Reregistered: m.reregistered,
+		Canceled:     m.dispCanceled,
+	}
+	if len(m.degraded) > 0 {
+		d.Degraded = make(map[string]uint64, len(m.degraded))
+		for k, v := range m.degraded {
+			d.Degraded[k] = v
+		}
+	}
+	return d, m.authRejected
 }
 
 // EndpointStats is one endpoint's snapshot.
@@ -126,6 +179,19 @@ type AdmissionStats struct {
 	Rejected      uint64 `json:"rejected"`
 }
 
+// DispatchStats is the coordinator-dispatch snapshot: how many requests
+// were answered from coordinator-computed cells, how many fell back to
+// local execution (keyed by reason — "no-workers", "unreachable",
+// "poisoned", "short"), how often a coordinator restart forced a sweep
+// re-registration, and how many dispatched requests the client
+// abandoned.
+type DispatchStats struct {
+	Dispatched   uint64            `json:"dispatched"`
+	Degraded     map[string]uint64 `json:"degraded,omitempty"`
+	Reregistered uint64            `json:"reregistered"`
+	Canceled     uint64            `json:"canceled"`
+}
+
 // MetricsSnapshot is the GET /metrics payload.
 type MetricsSnapshot struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
@@ -133,6 +199,8 @@ type MetricsSnapshot struct {
 	Cache         CacheStats               `json:"cache"`
 	Pool          PoolStats                `json:"pool"`
 	Admission     AdmissionStats           `json:"admission"`
+	Dispatch      DispatchStats            `json:"dispatch"`
+	AuthRejected  uint64                   `json:"auth_rejected"`
 }
 
 func (m *Metrics) snapshot() (out map[string]EndpointStats, rejected uint64, inflight int, uptime float64) {

@@ -35,6 +35,7 @@ package serve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -73,6 +74,26 @@ type Options struct {
 	MaxRobustnessN int
 	// MaxPISAIters caps PortfolioRequest.Iters (default 100000).
 	MaxPISAIters int
+	// Coordinator, when non-empty, is the base URL of a coordinator hub
+	// (`saga coordinate -hub`): portfolio and robustness requests are
+	// dispatched to the attached worker fleet as coordinator sweeps
+	// instead of computing locally, with graceful degradation back to
+	// local execution when the dispatch side fails (see dispatch.go).
+	Coordinator string
+	// DegradeWindow bounds how long a dispatched sweep may sit with no
+	// worker contact and no progress — or the hub stay unreachable —
+	// before the daemon falls back to local execution (default 3s).
+	DegradeWindow time.Duration
+	// DispatchPoll is the dispatched-sweep status poll cadence (default
+	// 100ms).
+	DispatchPoll time.Duration
+	// Token, when non-empty, requires `Authorization: Bearer <Token>` on
+	// every endpoint except /healthz; rejected requests are counted in
+	// /metrics.
+	Token string
+	// CoordinatorToken authenticates the daemon's own calls to the hub
+	// (the hub's -token). Defaults to Token in cmd/saga, not here.
+	CoordinatorToken string
 	// Logf, when non-nil, receives one line per request.
 	Logf func(format string, args ...any)
 }
@@ -96,6 +117,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxPISAIters <= 0 {
 		o.MaxPISAIters = 100000
 	}
+	if o.DegradeWindow <= 0 {
+		o.DegradeWindow = 3 * time.Second
+	}
+	if o.DispatchPoll <= 0 {
+		o.DispatchPoll = 100 * time.Millisecond
+	}
 	return o
 }
 
@@ -106,6 +133,7 @@ type Server struct {
 	pool    scheduler.ScratchPool
 	cache   *instanceCache
 	metrics *Metrics
+	disp    *dispatcher
 	sem     chan struct{}
 	leases  atomic.Uint64
 	mux     *http.ServeMux
@@ -121,9 +149,12 @@ func New(opts Options) *Server {
 		sem:     make(chan struct{}, opts.MaxConcurrent),
 		mux:     http.NewServeMux(),
 	}
-	s.mux.HandleFunc("POST /v1/schedule", s.admit("schedule", s.handleSchedule))
-	s.mux.HandleFunc("POST /v1/portfolio", s.admit("portfolio", s.handlePortfolio))
-	s.mux.HandleFunc("POST /v1/robustness", s.admit("robustness", s.handleRobustness))
+	if opts.Coordinator != "" {
+		s.disp = newDispatcher(opts, s.metrics, s.logf)
+	}
+	s.mux.HandleFunc("POST /v1/schedule", s.track("schedule", s.handleSchedule))
+	s.mux.HandleFunc("POST /v1/portfolio", s.track("portfolio", s.handlePortfolio))
+	s.mux.HandleFunc("POST /v1/robustness", s.track("robustness", s.handleRobustness))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		httpx.WriteJSON(w, map[string]bool{"ok": true})
@@ -133,6 +164,11 @@ func New(opts Options) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/healthz" && !httpx.CheckBearer(r, s.opts.Token) {
+		s.metrics.authReject()
+		http.Error(w, "unauthorized", http.StatusUnauthorized)
+		return
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -154,31 +190,14 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// admit is the bounded worker pool: an http middleware acquiring one of
-// MaxConcurrent slots, waiting at most QueueTimeout, refusing with 503
-// when the daemon is saturated. It also records the endpoint's count,
-// error count, and latency.
-func (s *Server) admit(name string, h http.HandlerFunc) http.HandlerFunc {
+// track wraps a handler with observability: the inflight gauge, the
+// per-endpoint count/error/latency record, and the request log line.
+// Admission slots are no longer taken here — handlers call acquire
+// around local compute only, so a dispatched request that spends its
+// life waiting on the coordinator never pins one of the MaxConcurrent
+// compute slots.
+func (s *Server) track(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		select {
-		case s.sem <- struct{}{}:
-		default:
-			t := time.NewTimer(s.opts.QueueTimeout)
-			defer t.Stop()
-			select {
-			case s.sem <- struct{}{}:
-			case <-t.C:
-				s.metrics.reject()
-				http.Error(w, fmt.Sprintf("server saturated: %d requests in flight, none finished within %s",
-					s.opts.MaxConcurrent, s.opts.QueueTimeout), http.StatusServiceUnavailable)
-				return
-			case <-r.Context().Done():
-				s.metrics.reject()
-				http.Error(w, "client gave up while queued", http.StatusServiceUnavailable)
-				return
-			}
-		}
-		defer func() { <-s.sem }()
 		s.metrics.addInflight(1)
 		defer s.metrics.addInflight(-1)
 		start := time.Now()
@@ -187,6 +206,59 @@ func (s *Server) admit(name string, h http.HandlerFunc) http.HandlerFunc {
 		d := time.Since(start)
 		s.metrics.record(name, d, rec.status != http.StatusOK)
 		s.logf("serve: %s %d %s", name, rec.status, d)
+	}
+}
+
+// acquire takes one of the MaxConcurrent admission slots, waiting at
+// most QueueTimeout, refusing with 503 when the daemon is saturated.
+// On ok the caller must invoke release exactly once.
+func (s *Server) acquire(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		t := time.NewTimer(s.opts.QueueTimeout)
+		defer t.Stop()
+		select {
+		case s.sem <- struct{}{}:
+		case <-t.C:
+			s.metrics.reject()
+			http.Error(w, fmt.Sprintf("server saturated: %d requests in flight, none finished within %s",
+				s.opts.MaxConcurrent, s.opts.QueueTimeout), http.StatusServiceUnavailable)
+			return nil, false
+		case <-r.Context().Done():
+			s.metrics.reject()
+			http.Error(w, "client gave up while queued", http.StatusServiceUnavailable)
+			return nil, false
+		}
+	}
+	return func() { <-s.sem }, true
+}
+
+// dispatch runs the named sweep through the coordinator hub and returns
+// a checkpoint pre-populated with every cell, or nil when the handler
+// should compute locally (no coordinator configured, or the dispatch
+// side degraded — logged and counted, never a client error). The error
+// return is non-nil only when the client itself is gone.
+func (s *Server) dispatch(r *http.Request, endpoint, sweep string, params experiments.SweepParams) (runner.Checkpoint, error) {
+	if s.disp == nil {
+		return nil, nil
+	}
+	cells, err := s.disp.run(r.Context(), sweep, params)
+	switch {
+	case err == nil:
+		s.metrics.dispatchDone()
+		return &premadeStore{cells: cells}, nil
+	case r.Context().Err() != nil:
+		return nil, r.Context().Err()
+	default:
+		reason := "error"
+		var de *degradeError
+		if errors.As(err, &de) {
+			reason = de.reason
+		}
+		s.metrics.dispatchDegraded(reason)
+		s.logf("serve: %s: %v; running locally", endpoint, err)
+		return nil, nil
 	}
 }
 
@@ -286,6 +358,11 @@ func (s *Server) releaseScratch(entry *cacheEntry, scr *scheduler.Scratch) {
 }
 
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	release, ok := s.acquire(w, r)
+	if !ok {
+		return
+	}
+	defer release()
 	var req ScheduleRequest
 	if !httpx.ReadJSON(w, r, &req) {
 		return
@@ -362,9 +439,32 @@ func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
 	opts.MaxIters = req.Iters
 	opts.Restarts = req.Restarts
 	opts.Seed = req.Seed
-	res, err := experiments.PairwisePISARun(scheds, experiments.PairwiseOptions{Anneal: opts},
-		runner.Options{Workers: s.opts.Workers})
+	// SweepParams.Anneal() builds exactly these options, which is what
+	// keeps a dispatched grid's fingerprint honest: workers compute the
+	// cells this handler would.
+	store, cerr := s.dispatch(r, "portfolio", "pairwise", experiments.SweepParams{
+		Iters: req.Iters, Restarts: req.Restarts, Seed: req.Seed, Schedulers: req.Schedulers,
+	})
+	if cerr != nil {
+		http.Error(w, "client canceled", http.StatusServiceUnavailable)
+		return
+	}
+	ro := runner.Options{Workers: s.opts.Workers, Context: r.Context(), Checkpoint: store}
+	if store == nil {
+		// Local compute holds an admission slot; replaying dispatched
+		// cells (store != nil) computes nothing and does not.
+		release, ok := s.acquire(w, r)
+		if !ok {
+			return
+		}
+		defer release()
+	}
+	res, err := experiments.PairwisePISARun(scheds, experiments.PairwiseOptions{Anneal: opts}, ro)
 	if err != nil {
+		if r.Context().Err() != nil {
+			http.Error(w, "client canceled", http.StatusServiceUnavailable)
+			return
+		}
 		http.Error(w, fmt.Sprintf("portfolio grid: %v", err), http.StatusInternalServerError)
 		return
 	}
@@ -417,9 +517,42 @@ func (s *Server) handleRobustness(w http.ResponseWriter, r *http.Request) {
 		// parked scratch stays parked for the schedule path.
 		s.releaseScratch(entry, scr)
 	}
-	res, err := experiments.RobustnessRun(entry.inst, sched, req.Sigma, req.N, req.Seed,
-		runner.Options{Workers: s.opts.Workers})
+	// A dispatched robustness sweep is identified by the exact instance
+	// bytes. Raw submissions use the client's bytes verbatim; WfC
+	// imports re-marshal the parsed instance (float64 JSON round-trips
+	// exactly, so the worker's parse is bit-equal to entry.inst).
+	instRaw := []byte(req.Instance)
+	if len(instRaw) == 0 && s.disp != nil {
+		var merr error
+		if instRaw, merr = serialize.MarshalInstance(entry.inst); merr != nil {
+			instRaw = nil // dispatch impossible; compute locally
+		}
+	}
+	var store runner.Checkpoint
+	if len(instRaw) > 0 {
+		var cerr error
+		store, cerr = s.dispatch(r, "robustness", "robustness", experiments.SweepParams{
+			N: req.N, Seed: req.Seed, Scheduler: req.Scheduler, Sigma: req.Sigma, InstanceRaw: instRaw,
+		})
+		if cerr != nil {
+			http.Error(w, "client canceled", http.StatusServiceUnavailable)
+			return
+		}
+	}
+	ro := runner.Options{Workers: s.opts.Workers, Context: r.Context(), Checkpoint: store}
+	if store == nil {
+		release, ok := s.acquire(w, r)
+		if !ok {
+			return
+		}
+		defer release()
+	}
+	res, err := experiments.RobustnessRun(entry.inst, sched, req.Sigma, req.N, req.Seed, ro)
 	if err != nil {
+		if r.Context().Err() != nil {
+			http.Error(w, "client canceled", http.StatusServiceUnavailable)
+			return
+		}
 		http.Error(w, fmt.Sprintf("robustness: %v", err), http.StatusBadRequest)
 		return
 	}
@@ -433,6 +566,7 @@ func (s *Server) handleRobustness(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	endpoints, rejected, inflight, uptime := s.metrics.snapshot()
+	dispatch, authRejected := s.metrics.dispatchSnapshot()
 	httpx.WriteJSON(w, MetricsSnapshot{
 		UptimeSeconds: uptime,
 		Endpoints:     endpoints,
@@ -446,5 +580,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Inflight:      inflight,
 			Rejected:      rejected,
 		},
+		Dispatch:     dispatch,
+		AuthRejected: authRejected,
 	})
 }
