@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race verify bench-smoke bench bench-pisa bench-pisa-full docs-lint coord-smoke serve-smoke chaos-smoke bench-serve fuzz-short cover
+.PHONY: all build test test-race verify bench-smoke bench bench-pisa bench-pisa-full bench-scale bench-scale-full docs-lint coord-smoke serve-smoke chaos-smoke bench-serve fuzz-short cover
 
 all: verify
 
@@ -36,9 +36,10 @@ test-race:
 # gracefully (serve-smoke + bench-serve), the distributed-dispatch chaos
 # drill survives a hub restart and worker SIGKILL mid-request
 # (chaos-smoke), the wfformat ingestion path survives a bounded fuzz
-# run, per-package coverage stays above the COVER_BASELINE floors, and
-# every package stays documented.
-verify: build test test-race docs-lint bench-smoke bench-pisa coord-smoke serve-smoke chaos-smoke bench-serve fuzz-short cover
+# run, the scale-tier data plane keeps its throughput, memory, and
+# bit-identity floors (bench-scale), per-package coverage stays above
+# the COVER_BASELINE floors, and every package stays documented.
+verify: build test test-race docs-lint bench-smoke bench-pisa bench-scale coord-smoke serve-smoke chaos-smoke bench-serve fuzz-short cover
 
 # coord-smoke is the process-level fault drill for the sweep
 # coordinator: it builds the saga binary, starts `saga coordinate` plus
@@ -156,3 +157,22 @@ bench-pisa:
 bench-pisa-full:
 	$(GO) test -run '^$$' -bench 'BenchmarkPISAIteration|BenchmarkPISACandidateGen' -benchmem -benchtime 300ms -count 3 ./internal/core/
 	$(GO) test -run '^$$' -bench 'BenchmarkPISARun' -benchmem -benchtime 1s -count 3 .
+
+# bench-scale is the scale-tier regression gate behind BENCH_scale.json:
+# the edge-sparse Tables property suites (byte-identical to the dense
+# reference under random builds and incremental-update sequences, plus
+# the 10k-deep chain traversal tests), then TestScaleBenchGate (opted in
+# via SCALE_BENCH_GATE=1) enforcing HEFT throughput floors at the
+# 1k/5k/10k tiers, the O(|V|+|E|+|D|·|V|) table-memory bound with
+# edge-sparse link storage, and 10k-task bit-identity of the sparse
+# tables against the dense reference. Part of `make verify`.
+bench-scale:
+	$(GO) test -run 'TestSparseTables|TestTablesChain10000' -count 1 ./internal/graph/
+	$(GO) test -run 'TestSolveDeepChain10000' -count 1 ./internal/exact/
+	SCALE_BENCH_GATE=1 $(GO) test -run TestScaleBenchGate -count 1 -v -timeout 300s .
+
+# bench-scale-full is the measurement protocol behind BENCH_scale.json:
+# count=3, 1s per tier; record the per-tier best and refresh the gate
+# floors at measurement/4.
+bench-scale-full:
+	$(GO) test -run '^$$' -bench BenchmarkScaleHEFT -benchmem -benchtime 1s -count 3 .

@@ -124,8 +124,8 @@ func TestPerturbUndoRoundTripMixed(t *testing.T) {
 // assertTablesMatchRebuild compares an incrementally maintained Tables
 // against a fresh Build for the same instance, bit for bit, through the
 // scheduling-relevant surface: the rank inputs (which read every exec
-// average, edge average, and the topological order) and the dense
-// matrices via a scratch-driven schedule of both.
+// average, edge average, and the topological order) and the full
+// link-accessor surface.
 func assertTablesMatchRebuild(t *testing.T, tab *graph.Tables, inst *graph.Instance) {
 	t.Helper()
 	var fresh graph.Tables
@@ -136,8 +136,16 @@ func assertTablesMatchRebuild(t *testing.T, tab *graph.Tables, inst *graph.Insta
 		t.Fatalf("table shape diverged: (%d,%d) vs (%d,%d)", tab.NTasks, tab.NNodes, fresh.NTasks, fresh.NNodes)
 	}
 	assertF64Equal(t, "InvSpeed", tab.InvSpeed, fresh.InvSpeed)
-	assertF64Equal(t, "LinkFlat", tab.LinkFlat, fresh.LinkFlat)
-	assertF64Equal(t, "InvLink", tab.InvLink, fresh.InvLink)
+	for u := 0; u < tab.NNodes; u++ {
+		for v := 0; v < tab.NNodes; v++ {
+			if tab.Link(u, v) != fresh.Link(u, v) {
+				t.Fatalf("Link(%d,%d) diverged: %v vs %v", u, v, tab.Link(u, v), fresh.Link(u, v))
+			}
+			if tab.CommFree(u, v) != fresh.CommFree(u, v) {
+				t.Fatalf("CommFree(%d,%d) diverged: %v vs %v", u, v, tab.CommFree(u, v), fresh.CommFree(u, v))
+			}
+		}
+	}
 	assertF64Equal(t, "AvgExec", tab.AvgExec, fresh.AvgExec)
 	assertF64Equal(t, "Exec", tab.Exec, fresh.Exec)
 	if len(tab.Topo) != len(fresh.Topo) {

@@ -1,0 +1,68 @@
+package datasets
+
+import (
+	"fmt"
+
+	"saga/internal/graph"
+	"saga/internal/rng"
+	"saga/internal/wfc"
+)
+
+// The wfc_* dataset family promotes WfCommons interchange instances to
+// first-class registered datasets: each draws a workflow recipe, exports
+// it as a wfformat document with a sampled machine list, and builds the
+// scheduling instance by re-ingesting that document through wfc.Parse —
+// the same reader path real .json/.json.gz WfCommons traces enter by.
+// The round trip is deliberate: every generated instance doubles as a
+// regression check that the interchange format preserves the scheduling
+// model, and the family's instances are exactly what an operator gets
+// from `saga convert` on a wfcommons file.
+//
+// Unlike the plain workflow datasets (Chameleon networks, infinite
+// links), the wfc_* family carries the document's machine list into a
+// finite-bandwidth network normalized to CCR 1 via SetHomogeneousCCR —
+// the Section VII-A configuration.
+
+// wfcInstance generates one wfc_* instance by round-tripping the named
+// recipe through the wfformat interchange.
+func wfcInstance(name string, r *rng.RNG) *graph.Instance {
+	g, err := WorkflowRecipe(name, r)
+	if err != nil {
+		panic(err)
+	}
+	doc := wfc.FromTaskGraph(name, g)
+	n := r.IntBetween(4, 10)
+	for v := 0; v < n; v++ {
+		doc.Workflow.Machines = append(doc.Workflow.Machines, wfc.Machine{
+			NodeName: fmt.Sprintf("m%d", v+1),
+			Speed:    r.ClippedGaussian(1, 1.0/3, 0.2, 2),
+		})
+	}
+	data, err := doc.Marshal()
+	if err != nil {
+		panic(err)
+	}
+	parsed, err := wfc.Parse(data)
+	if err != nil {
+		panic(err)
+	}
+	g2, err := parsed.ToTaskGraph()
+	if err != nil {
+		panic(err)
+	}
+	inst := graph.NewInstance(g2, parsed.ToNetwork(1))
+	SetHomogeneousCCR(inst, 1)
+	return inst
+}
+
+func init() {
+	for _, name := range WorkflowNames {
+		name := name
+		full := "wfc_" + name
+		Register(full, func() Generator {
+			return GeneratorFunc{DatasetName: full, Fn: func(r *rng.RNG) *graph.Instance {
+				return wfcInstance(name, r)
+			}}
+		})
+	}
+}

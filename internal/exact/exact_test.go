@@ -114,6 +114,56 @@ func TestFeasibleReturnsSatisfyingSchedule(t *testing.T) {
 	}
 }
 
+// TestSolveDeepChain10000 pins the iterative search's memory and stack
+// behavior: a 10k-task dependency chain on one node has exactly one
+// candidate per level, so the DFS runs 10k frames deep on the single
+// shared builder. The recursive clone-per-branch implementation this
+// replaced held a builder copy per level and could not finish; the
+// iterative one completes with the exact chain makespan.
+func TestSolveDeepChain10000(t *testing.T) {
+	const n = 10000
+	g := graph.NewTaskGraph()
+	want := 0.0
+	for i := 0; i < n; i++ {
+		c := 1 + float64(i%5)
+		g.AddTask("", c)
+		want += c
+	}
+	for i := 1; i < n; i++ {
+		g.MustAddDep(i-1, i, float64(i%3))
+	}
+	inst := graph.NewInstance(g, graph.NewNetwork(1))
+	sch, err := Solve(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := schedule.Validate(inst, sch); err != nil {
+		t.Fatal(err)
+	}
+	if !graph.ApproxEq(sch.Makespan(), want) {
+		t.Fatalf("chain makespan = %v, want %v", sch.Makespan(), want)
+	}
+}
+
+// TestSolveDominancePrunes checks the solver stays exact on an instance
+// built to hit the dominance table hard: many identical independent
+// tasks over identical nodes, where permuted placements collapse onto
+// the same (mask, assignment) keys.
+func TestSolveDominancePrunes(t *testing.T) {
+	g := graph.NewTaskGraph()
+	for i := 0; i < 6; i++ {
+		g.AddTask("", 1)
+	}
+	inst := graph.NewInstance(g, graph.NewNetwork(2))
+	sch, err := Solve(inst, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.ApproxEq(sch.Makespan(), 3) {
+		t.Fatalf("makespan = %v, want 3 (6 unit tasks on 2 unit nodes)", sch.Makespan())
+	}
+}
+
 func TestBudgetExceeded(t *testing.T) {
 	inst := smallInstance(5)
 	if _, err := Solve(inst, Options{MaxNodes: 2}); err != ErrBudget {

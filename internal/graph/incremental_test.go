@@ -51,8 +51,16 @@ func assertTablesEqual(t *testing.T, got, want *Tables, g *TaskGraph) {
 		}
 	}
 	eq("InvSpeed", got.InvSpeed, want.InvSpeed)
-	eq("LinkFlat", got.LinkFlat, want.LinkFlat)
-	eq("InvLink", got.InvLink, want.InvLink)
+	for u := 0; u < got.NNodes; u++ {
+		for v := 0; v < got.NNodes; v++ {
+			if got.Link(u, v) != want.Link(u, v) {
+				t.Fatalf("Link(%d,%d): %v vs %v", u, v, got.Link(u, v), want.Link(u, v))
+			}
+			if got.CommFree(u, v) != want.CommFree(u, v) {
+				t.Fatalf("CommFree(%d,%d): %v vs %v", u, v, got.CommFree(u, v), want.CommFree(u, v))
+			}
+		}
+	}
 	eq("AvgExec", got.AvgExec, want.AvgExec)
 	eq("Exec", got.Exec, want.Exec)
 	eq("execPrefix", got.execPrefix, want.execPrefix)

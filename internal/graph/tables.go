@@ -3,19 +3,27 @@ package graph
 import "math"
 
 // Tables caches the derived cost quantities every list scheduler keeps
-// recomputing from an Instance: inverse node speeds, the flattened dense
-// link-strength matrix and its inverse, per-task average execution
-// times, per-edge average communication times (aligned with both the
-// successor and predecessor adjacency lists), and the deterministic
-// topological order. Build populates them reusing the receiver's
-// storage (the per-edge averages lazily, via EnsureAvgComm), so a
-// per-worker Tables rebuilt once per instance makes the scheduling hot
-// path allocation-free.
+// recomputing from an Instance: inverse node speeds, the link-strength
+// matrix in an edge-sparse default-plus-exceptions layout, per-task
+// average execution times, per-edge average communication times
+// (aligned with both the successor and predecessor adjacency lists),
+// and the deterministic topological order. Build populates them reusing
+// the receiver's storage (the per-edge averages lazily, via
+// EnsureAvgComm), so a per-worker Tables rebuilt once per instance
+// makes the scheduling hot path allocation-free.
 //
 // The averages are accumulated with exactly the same floating-point
 // operation order as Instance.AvgExecTime and Instance.AvgCommTime, so
 // schedulers reading the tables produce bit-identical schedules to ones
 // calling the Instance methods directly.
+//
+// Storage discipline (ARCHITECTURE.md invariant 10): Tables holds no
+// |V|²-sized array. The link matrix is stored as one modal default
+// strength plus a CSR-indexed exception list, sized O(|V|+|E|) where
+// |E| counts the node pairs whose strength differs from the mode; the
+// remaining tables are O(|T|·|V|) (exec) and O(|D|) (edge averages).
+// The previous dense implementation survives verbatim as DenseTables,
+// the bit-identity reference sparse_test.go proves this one against.
 //
 // Tables is a snapshot: it does not observe later mutations of the
 // instance. Callers that perturb weights or structure must either call
@@ -43,15 +51,6 @@ type Tables struct {
 
 	// InvSpeed[v] is 1/s(v).
 	InvSpeed []float64
-	// LinkFlat is the dense row-major |V|×|V| link-strength matrix:
-	// LinkFlat[u*NNodes+v] = s(u, v), +Inf on the diagonal. Hot paths
-	// divide by these raw strengths (never multiply by the inverse) so
-	// results stay bit-identical to Instance.CommTime.
-	LinkFlat []float64
-	// InvLink is the matching inverse matrix: 1/s(u, v), with 0 for the
-	// diagonal and for infinitely strong links. An entry of 0 therefore
-	// means "communication between this pair is free".
-	InvLink []float64
 	// AvgExec[t] equals Instance.AvgExecTime(t).
 	AvgExec []float64
 	// Exec is the dense row-major |T|×|V| execution-time matrix:
@@ -71,6 +70,32 @@ type Tables struct {
 	// the graph has one, in which case Topo is invalid.
 	Topo    []int
 	TopoErr error
+
+	// Edge-sparse link storage. Off-diagonal strengths equal to
+	// linkDefault (the modal off-diagonal value at Build time, smallest
+	// value on a frequency tie) are implicit; every other off-diagonal
+	// entry lives in a row-indexed CSR exception list: linkOff has
+	// NNodes+1 row offsets into linkCol/linkVal/linkInv, columns sorted
+	// ascending within a row, with both symmetric copies stored.
+	// invDefault and linkInv mirror the 1/s(u,v) convention of the old
+	// dense InvLink: 0 exactly when the strength is +Inf, so "inverse is
+	// zero" still means "communication is free". The diagonal is never
+	// stored: Link(u, u) is +Inf and CommFree(u, u) is true by fiat,
+	// matching the self-link convention Network.Validate enforces. The
+	// default is chosen once per Build and never migrates — incremental
+	// link updates that set an entry to a non-default value insert an
+	// exception, and updates back to the default value overwrite the
+	// existing exception in place (a stored exception whose value equals
+	// the default is legal and harmless).
+	linkDefault float64
+	invDefault  float64
+	linkOff     []int
+	linkCol     []int
+	linkVal     []float64
+	linkInv     []float64
+	// defCount is Build's scratch for the modal-strength election,
+	// cleared (buckets retained) each Build.
+	defCount map[float64]int
 
 	// avgComm holds AvgCommTime for every edge twice: first aligned with
 	// the concatenated successor lists, then with the predecessor lists.
@@ -147,12 +172,75 @@ func (tb *Tables) EnsureAvgComm() {
 	tb.avgCommBuilt = true
 }
 
-// Link returns the link strength s(u, v) from the flattened matrix.
-func (tb *Tables) Link(u, v int) float64 { return tb.LinkFlat[u*tb.NNodes+v] }
+// Link returns the link strength s(u, v). The diagonal is +Inf by the
+// self-link convention; off-diagonal reads resolve through the
+// exception list, falling back to the Build-time default.
+func (tb *Tables) Link(u, v int) float64 {
+	if u == v {
+		return math.Inf(1)
+	}
+	if k, ok := tb.linkIdx(u, v); ok {
+		return tb.linkVal[k]
+	}
+	return tb.linkDefault
+}
 
 // CommFree reports whether sending data from u to v costs nothing
 // (same node or an infinitely strong link).
-func (tb *Tables) CommFree(u, v int) bool { return tb.InvLink[u*tb.NNodes+v] == 0 }
+func (tb *Tables) CommFree(u, v int) bool {
+	if u == v {
+		return true
+	}
+	if k, ok := tb.linkIdx(u, v); ok {
+		return tb.linkInv[k] == 0
+	}
+	return tb.invDefault == 0
+}
+
+// ExecRow returns task t's row of the execution-time matrix,
+// Exec[t*NNodes : (t+1)*NNodes], as a shared (not copied) slice.
+func (tb *Tables) ExecRow(t int) []float64 {
+	return tb.Exec[t*tb.NNodes : (t+1)*tb.NNodes]
+}
+
+// LinkExceptions returns the number of stored link-exception entries
+// (both symmetric copies counted) — the |E| in the O(|V|+|E|) link
+// storage bound. Exposed for the scale-tier memory assertions.
+func (tb *Tables) LinkExceptions() int { return len(tb.linkCol) }
+
+// MemoryBytes reports the bytes referenced by every table the receiver
+// currently holds (slice lengths × element size; capacity slack and the
+// modal-election scratch map are not counted). The scale benchmark gate
+// asserts this stays O(|V|+|E|+|D|+|T|·|V|) — in particular that no
+// |V|² term reappears.
+func (tb *Tables) MemoryBytes() int {
+	const w = 8 // float64 and int are both 8 bytes on 64-bit hosts
+	f := len(tb.InvSpeed) + len(tb.AvgExec) + len(tb.Exec) + len(tb.execPrefix) +
+		len(tb.avgComm) + len(tb.linkVal) + len(tb.linkInv)
+	i := len(tb.Topo) + len(tb.topoPos) + len(tb.indeg) + cap(tb.frontier) +
+		len(tb.succOff) + len(tb.predOff) + len(tb.linkOff) + len(tb.linkCol)
+	return w * (f + i)
+}
+
+// linkIdx locates the exception entry for the off-diagonal pair (u, v):
+// it returns the entry's index and true when one is stored, or the
+// would-be insertion position within row u (columns sorted ascending)
+// and false when the pair takes the default.
+func (tb *Tables) linkIdx(u, v int) (int, bool) {
+	lo, hi := tb.linkOff[u], tb.linkOff[u+1]
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if tb.linkCol[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < tb.linkOff[u+1] && tb.linkCol[lo] == v {
+		return lo, true
+	}
+	return lo, false
+}
 
 // growF64 returns s resized to n, reusing capacity.
 func growF64(s []float64, n int) []float64 {
@@ -183,20 +271,7 @@ func (tb *Tables) Build(inst *Instance) {
 		tb.InvSpeed[v] = 1 / s
 	}
 
-	tb.LinkFlat = growF64(tb.LinkFlat, nV*nV)
-	tb.InvLink = growF64(tb.InvLink, nV*nV)
-	for u := 0; u < nV; u++ {
-		row := net.Links[u]
-		for v := 0; v < nV; v++ {
-			w := row[v]
-			tb.LinkFlat[u*nV+v] = w
-			if u == v || math.IsInf(w, 1) {
-				tb.InvLink[u*nV+v] = 0
-			} else {
-				tb.InvLink[u*nV+v] = 1 / w
-			}
-		}
-	}
+	tb.buildLinks(net)
 
 	// Per-task execution times and their average, with AvgExecTime's
 	// exact summation order.
@@ -222,6 +297,67 @@ func (tb *Tables) Build(inst *Instance) {
 	tb.src = inst
 
 	tb.buildTopo(g)
+}
+
+// buildLinks elects the modal off-diagonal strength as the implicit
+// default and stores every other off-diagonal entry in the CSR
+// exception list. For a homogeneous network (one strength everywhere,
+// the common case at scale) the list is empty; for a fully
+// heterogeneous small network every pair becomes an exception and the
+// layout degenerates gracefully to a dense-equivalent edge list.
+func (tb *Tables) buildLinks(net *Network) {
+	nV := tb.NNodes
+	if tb.defCount == nil {
+		tb.defCount = make(map[float64]int)
+	}
+	clear(tb.defCount)
+	for u := 0; u < nV; u++ {
+		row := net.Links[u]
+		for v := u + 1; v < nV; v++ {
+			tb.defCount[row[v]]++
+		}
+	}
+	// Deterministic election: highest pair count wins, ties go to the
+	// smallest strength (map iteration order cannot leak through a total
+	// order on (count, value)).
+	def, defN := math.Inf(1), 0
+	for w, n := range tb.defCount {
+		if n > defN || (n == defN && w < def) {
+			def, defN = w, n
+		}
+	}
+	tb.linkDefault = def
+	if math.IsInf(def, 1) {
+		tb.invDefault = 0
+	} else {
+		tb.invDefault = 1 / def
+	}
+
+	tb.linkOff = growInt(tb.linkOff, nV+1)
+	tb.linkCol = tb.linkCol[:0]
+	tb.linkVal = tb.linkVal[:0]
+	tb.linkInv = tb.linkInv[:0]
+	for u := 0; u < nV; u++ {
+		tb.linkOff[u] = len(tb.linkCol)
+		row := net.Links[u]
+		for v := 0; v < nV; v++ {
+			if v == u {
+				continue
+			}
+			w := row[v]
+			if w == def {
+				continue
+			}
+			inv := 0.0
+			if !math.IsInf(w, 1) {
+				inv = 1 / w
+			}
+			tb.linkCol = append(tb.linkCol, v)
+			tb.linkVal = append(tb.linkVal, w)
+			tb.linkInv = append(tb.linkInv, inv)
+		}
+	}
+	tb.linkOff[nV] = len(tb.linkCol)
 }
 
 // succIndex returns the position of edge (u, v) in g.Succ[u]; it panics
@@ -255,7 +391,10 @@ func predIndex(g *TaskGraph, v, u int) int {
 // in Build's exact order, so a patched Tables is bit-identical to a
 // freshly built one — the property the PISA annealer's incremental
 // inner loop (internal/core) relies on and incremental_test.go pins
-// down.
+// down. (Bit-identical here means every accessor returns identical
+// values; the Build-time default election is never re-run, so the
+// internal exception list may differ from a fresh Build's while every
+// read agrees — sparse_test.go checks through the accessors.)
 //
 // Staleness contract — after mutating the built instance, call:
 //
@@ -311,28 +450,60 @@ func (tb *Tables) UpdateNodeSpeed(v int) {
 }
 
 // UpdateLinkSpeed patches the tables after Net.SetLink(u, v, ·): both
-// symmetric entries of the flattened link matrix and its inverse. The
-// per-edge average-communication table is invalidated rather than
-// patched — every edge's average sums over all node pairs, so one link
-// change touches all of it; the next EnsureAvgComm rebuilds it lazily
-// (reusing storage) only if a scheduler actually reads it. O(1).
+// symmetric copies of the pair's entry in the sparse link storage. A
+// pair whose new strength differs from the Build-time default gets an
+// exception inserted (or its existing exception overwritten); a pair
+// reverting to the default value keeps its exception slot with the
+// default stored in it — reads cannot tell the difference, and the slot
+// is reused when the annealer perturbs the same pair again, so the
+// steady-state accept/reject cycle stays allocation-free once the
+// touched pairs' slots exist. The per-edge average-communication table
+// is invalidated rather than patched — every edge's average sums over
+// all node pairs, so one link change touches all of it; the next
+// EnsureAvgComm rebuilds it lazily (reusing storage) only if a
+// scheduler actually reads it. O(log deg) per read, O(row shift) on
+// first-time insertion.
 func (tb *Tables) UpdateLinkSpeed(u, v int) {
 	tb.Generation++
 	if u == v {
 		return
 	}
-	net := tb.src.Net
-	nV := tb.NNodes
-	for _, e := range [2][2]int{{u, v}, {v, u}} {
-		w := net.Links[e[0]][e[1]]
-		tb.LinkFlat[e[0]*nV+e[1]] = w
-		if math.IsInf(w, 1) {
-			tb.InvLink[e[0]*nV+e[1]] = 0
-		} else {
-			tb.InvLink[e[0]*nV+e[1]] = 1 / w
-		}
+	w := tb.src.Net.Links[u][v]
+	inv := 0.0
+	if !math.IsInf(w, 1) {
+		inv = 1 / w
 	}
+	tb.setLinkEntry(u, v, w, inv)
+	tb.setLinkEntry(v, u, w, inv)
 	tb.avgCommBuilt = false
+}
+
+// setLinkEntry writes one directed copy of a link exception, inserting
+// a new sorted CSR entry if the pair currently rides the default and
+// the new value does not.
+func (tb *Tables) setLinkEntry(u, v int, w, inv float64) {
+	k, found := tb.linkIdx(u, v)
+	if found {
+		tb.linkVal[k] = w
+		tb.linkInv[k] = inv
+		return
+	}
+	if w == tb.linkDefault {
+		return
+	}
+	n := len(tb.linkCol)
+	tb.linkCol = append(tb.linkCol, 0)
+	tb.linkVal = append(tb.linkVal, 0)
+	tb.linkInv = append(tb.linkInv, 0)
+	copy(tb.linkCol[k+1:], tb.linkCol[k:n])
+	copy(tb.linkVal[k+1:], tb.linkVal[k:n])
+	copy(tb.linkInv[k+1:], tb.linkInv[k:n])
+	tb.linkCol[k] = v
+	tb.linkVal[k] = w
+	tb.linkInv[k] = inv
+	for r := u + 1; r <= tb.NNodes; r++ {
+		tb.linkOff[r]++
+	}
 }
 
 // UpdateTaskWeight patches the tables after Graph.Tasks[t].Cost changed
@@ -481,12 +652,16 @@ func (tb *Tables) RemoveDep(u, v int) {
 	}
 }
 
-// avgCommTimeFlat is avgCommTime against the flattened link tables:
-// the identical divisions in the identical pair order (InvLink == 0 off
-// the diagonal exactly when the link is infinitely strong), so results
-// are bit-identical — just without the nested-slice loads and IsInf
-// calls of the Instance pair loop. This is the hot form: EnsureAvgComm
-// and UpdateDepWeight sit on the PISA inner loop's rebuild path.
+// avgCommTimeFlat is avgCommTime against the sparse link storage: the
+// identical divisions in the identical (a, b) pair order as the dense
+// reference (DenseTables.avgCommTimeFlat), so results are bit-identical.
+// Default pairs contribute cost/linkDefault, computed once — dividing
+// the same two bit patterns always yields the same bits, so one shared
+// quotient added per default pair reproduces the dense per-pair
+// division stream exactly. When the default strength is +Inf (free
+// communication, e.g. the Chameleon networks) default pairs contribute
+// nothing and the loop degenerates to a walk over the exception list
+// with a closed-form pair count — O(|E|) instead of O(|V|²).
 func (tb *Tables) avgCommTimeFlat(cost float64) float64 {
 	if cost == 0 {
 		return 0
@@ -496,15 +671,35 @@ func (tb *Tables) avgCommTimeFlat(cost float64) float64 {
 		return 0
 	}
 	sum := 0.0
-	count := 0
-	for a := 0; a < nV; a++ {
-		row := tb.LinkFlat[a*nV : a*nV+nV]
-		inv := tb.InvLink[a*nV : a*nV+nV]
-		for b := a + 1; b < nV; b++ {
-			if inv[b] != 0 {
-				sum += cost / row[b]
+	count := nV * (nV - 1) / 2
+	if tb.invDefault == 0 {
+		// Only exceptions can contribute; walk upper-triangle entries in
+		// (row, col) order — exactly the order the dense pair loop visits
+		// the contributing pairs.
+		for a := 0; a < nV; a++ {
+			for k := tb.linkOff[a]; k < tb.linkOff[a+1]; k++ {
+				if tb.linkCol[k] > a && tb.linkInv[k] != 0 {
+					sum += cost / tb.linkVal[k]
+				}
 			}
-			count++
+		}
+		return sum / float64(count)
+	}
+	qd := cost / tb.linkDefault
+	for a := 0; a < nV; a++ {
+		k, end := tb.linkOff[a], tb.linkOff[a+1]
+		for k < end && tb.linkCol[k] <= a {
+			k++
+		}
+		for b := a + 1; b < nV; b++ {
+			if k < end && tb.linkCol[k] == b {
+				if tb.linkInv[k] != 0 {
+					sum += cost / tb.linkVal[k]
+				}
+				k++
+			} else {
+				sum += qd
+			}
 		}
 	}
 	return sum / float64(count)

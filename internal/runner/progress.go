@@ -94,10 +94,20 @@ func ProgressPrinter(w io.Writer, label string) func(done, total int) {
 // zero-elapsed division would print (cells routinely land within the
 // clock's resolution, and a resumed sweep's first computed cell can
 // tick before the clock does).
+//
+// Output is rate-limited to one line per maxLineInterval: a scale-tier
+// sweep completes thousands of cheap cells per second, and printing
+// each one turns the progress report into megabytes of scrollback (and
+// a measurable cost when the writer is a terminal or a log shipper).
+// Two kinds of line bypass the limiter — baselines, because they anchor
+// the phase a reader (and LeaseProgress) interprets everything else
+// against, and completion lines (done ≥ total), because the final state
+// of a sweep must always land.
 func progressPrinter(w io.Writer, label string, now func() time.Time) func(done, total int) {
 	const minRateElapsed = 1e-6 // seconds; below this the clock hasn't meaningfully ticked
+	const maxLineInterval = 100 * time.Millisecond
 	base, baseTotal, lastDone := 0, 0, 0
-	var baseT time.Time
+	var baseT, lastPrint time.Time
 	baseSet := false
 	return func(done, total int) {
 		// Re-baseline when the sweep evidently changed under the same
@@ -113,10 +123,16 @@ func progressPrinter(w io.Writer, label string, now func() time.Time) func(done,
 		lastDone = done
 		if !baseSet {
 			base, baseTotal, baseT, baseSet = done, total, now(), true
+			lastPrint = baseT
 			fmt.Fprintf(w, "%s: %d/%d cells\n", label, done, total)
 			return
 		}
-		elapsed := now().Sub(baseT).Seconds()
+		t := now()
+		if done < total && t.Sub(lastPrint) < maxLineInterval {
+			return // rate-limited; the next surviving line carries the count
+		}
+		lastPrint = t
+		elapsed := t.Sub(baseT).Seconds()
 		computed := done - base
 		haveRate := computed > 0 && elapsed >= minRateElapsed
 		if done >= total {

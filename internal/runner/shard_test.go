@@ -3,7 +3,6 @@ package runner
 import (
 	"bytes"
 	"encoding/json"
-	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -140,19 +139,29 @@ func TestMapShardedProgressPrinterTotals(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if len(lines) != 4 { // the 0/3 baseline plus one line per owned cell
-		t.Fatalf("printed %d lines, want baseline + one per owned cell:\n%s", len(lines), buf.String())
+	// The printer rate-limits mid-sweep lines, so the exact count depends
+	// on how fast the cells land; the baseline and the completion line
+	// always survive, and 4 (baseline + one per owned cell) is the cap.
+	if len(lines) < 2 || len(lines) > 4 {
+		t.Fatalf("printed %d lines, want 2-4 (baseline + rate-limited cells + completion):\n%s", len(lines), buf.String())
 	}
 	for i, line := range lines {
 		if !strings.HasPrefix(line, "worker test 1/4: ") {
 			t.Fatalf("line %d missing label: %q", i, line)
 		}
-		if !strings.Contains(line, fmt.Sprintf("%d/3 cells", i)) {
+		if !strings.Contains(line, "/3 cells") {
 			t.Fatalf("line %d does not count against the shard's 3 owned cells: %q", i, line)
 		}
 		if strings.Contains(line, "/10") {
 			t.Fatalf("line %d reports the unsharded total: %q", i, line)
 		}
+	}
+	if lines[0] != "worker test 1/4: 0/3 cells" {
+		t.Fatalf("baseline = %q, want the shard's starting position", lines[0])
+	}
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "3/3 cells") || !strings.Contains(last, "done in") {
+		t.Fatalf("final line %q does not report completion", last)
 	}
 }
 

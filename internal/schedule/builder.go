@@ -264,6 +264,31 @@ func (b *Builder) BestEFTNode(t int, insertion bool) (node int, start float64) {
 	return bestNode, bestStart
 }
 
+// Unplace reverses Place(t, ·, ·): the assignment leaves node t's
+// timeline and t becomes placeable again. It panics if t is not placed.
+// Backtracking searches (package exact) pair every Place with an
+// Unplace in LIFO order, which keeps one shared builder per search
+// instead of a clone per branch — the clone-per-frame approach holds
+// O(depth·|T|) live memory and is infeasible at 10k-task depths.
+func (b *Builder) Unplace(t int) {
+	if !b.placed[t] {
+		panic(fmt.Sprintf("schedule: task %d not placed", t))
+	}
+	a := b.byTask[t]
+	tl := b.timelines[a.Node]
+	// LIFO discipline means the assignment is near the end of the
+	// timeline; scan backwards.
+	for i := len(tl) - 1; i >= 0; i-- {
+		if tl[i].Task == t {
+			copy(tl[i:], tl[i+1:])
+			b.timelines[a.Node] = tl[:len(tl)-1]
+			break
+		}
+	}
+	b.placed[t] = false
+	b.nPlaced--
+}
+
 // Clone returns a deep copy of the builder sharing the (immutable)
 // instance. Backtracking searches use it to branch.
 func (b *Builder) Clone() *Builder {

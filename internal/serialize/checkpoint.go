@@ -3,12 +3,17 @@ package serialize
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 )
+
+// errStopIter halts an Iter pass that only needed the header.
+var errStopIter = errors.New("serialize: stop iteration")
 
 // Checkpoint is a file-backed store of per-cell sweep results — the
 // persistence side of runner's checkpoint/resume hook. Completed cells
@@ -78,6 +83,20 @@ func (c *Checkpoint) Load() (map[int]json.RawMessage, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if isGzip(data) {
+		// Stream-format store (see stream.go): decode record by record,
+		// then serve the same map shape the JSON path produces.
+		cells, err := loadStream(c.path, c.fingerprint)
+		if err != nil {
+			return nil, err
+		}
+		c.cells = cells
+		out := make(map[int]json.RawMessage, len(cells))
+		for k, raw := range cells {
+			out[k] = raw
+		}
+		return out, nil
 	}
 	var cf checkpointFile
 	if err := json.Unmarshal(data, &cf); err != nil {
@@ -155,6 +174,15 @@ func PeekFingerprint(path string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	if isGzip(data) {
+		// Stream-format store: the fingerprint is the header record, so
+		// only the first member's first value is decoded.
+		fp, err := Iter(path, func(int, json.RawMessage) error { return errStopIter })
+		if err != nil && err != errStopIter {
+			return "", err
+		}
+		return fp, nil
+	}
 	var cf checkpointFile
 	if err := json.Unmarshal(data, &cf); err != nil {
 		return "", fmt.Errorf("serialize: checkpoint %s is corrupt or truncated (%d bytes): %w — a crash mid-write? delete it (or restore it from the worker that wrote it) and re-run",
@@ -202,8 +230,17 @@ func (c *Checkpoint) Remove() error {
 	return err
 }
 
-// writeLocked rewrites the store atomically. Callers hold c.mu.
+// writeLocked rewrites the store atomically. Callers hold c.mu. Paths
+// ending in ".gz" opt into the stream format (stream.go); everything
+// else writes the legacy JSON object, byte-identical to prior releases.
 func (c *Checkpoint) writeLocked() error {
+	if strings.HasSuffix(c.path, streamSuffix) {
+		if err := writeStreamLocked(c.path, c.fingerprint, c.cells); err != nil {
+			return err
+		}
+		c.pending = 0
+		return nil
+	}
 	cf := checkpointFile{
 		Fingerprint: c.fingerprint,
 		Cells:       make(map[string]json.RawMessage, len(c.cells)),

@@ -2,16 +2,31 @@ package serialize
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
+
+// mergeCell is the merge's per-index bookkeeping: a content hash for
+// duplicate agreement checks and the first shard that supplied the
+// cell. Holding hashes instead of payloads keeps the merge's memory
+// O(cells · 32 bytes) regardless of cell size, so 10k-cell scale-tier
+// stores merge without materializing any shard.
+type mergeCell struct {
+	hash  [sha256.Size]byte
+	owner string
+}
 
 // MergeCheckpoints combines the per-shard checkpoint stores of a
 // distributed sweep (runner.ShardSpec) into one complete store at
 // outPath, which any single-process run of the same sweep can then
-// resume from — loading every cell and recomputing nothing.
+// resume from — loading every cell and recomputing nothing. Shards may
+// be legacy JSON stores or stream-format (.gz) stores in any mix; the
+// output format follows outPath's suffix (".gz" streams, anything else
+// writes the legacy JSON object byte-identically to prior releases).
 //
 // Every shard store must carry the given fingerprint (the one the
 // unsharded sweep would use — shard identity lives in the file path, not
@@ -24,23 +39,27 @@ import (
 // which shard to re-run, and cells outside the range are rejected as
 // belonging to a different sweep shape.
 //
+// The merge streams shards twice: a first pass verifies fingerprints,
+// ranges, and duplicate agreement against content hashes; the second
+// pass writes each index's first-seen cell to the output. Cell payloads
+// are only ever held one at a time (plus the whole map for a JSON
+// output, which that format requires).
+//
 // It returns the number of cells written to the merged store.
 func MergeCheckpoints(outPath, fingerprint string, total int, shardPaths []string) (int, error) {
 	if len(shardPaths) == 0 {
 		return 0, fmt.Errorf("serialize: merge: no shard stores given")
 	}
-	merged := map[int]json.RawMessage{}
-	owner := map[int]string{}
+	seen := map[int]mergeCell{}
 	matched := "" // first store whose fingerprint matched, for diagnostics
 	for _, path := range shardPaths {
 		if _, err := os.Stat(path); err != nil {
-			// Load treats an absent file as an empty store (right for
-			// resuming, wrong here: a mistyped shard path must not
-			// silently shrink the merge).
+			// Iter treats an absent file as an open error already, but the
+			// stat keeps the mistyped-path diagnostic first and explicit.
 			return 0, fmt.Errorf("serialize: merge: shard store %s: %w", path, err)
 		}
-		// Check the fingerprint before loading so a mismatch names both
-		// sweeps and both files: the operator's question is never "is
+		// Check the fingerprint before streaming cells so a mismatch names
+		// both sweeps and both files: the operator's question is never "is
 		// this store wrong" but "which shard came from the wrong sweep",
 		// and answering it needs the offending path, the expected
 		// fingerprint's provenance, and both fingerprint strings in full.
@@ -57,32 +76,30 @@ func MergeCheckpoints(outPath, fingerprint string, total int, shardPaths []strin
 				path, got, source, fingerprint)
 		}
 		matched = path
-		ck := NewCheckpoint(path)
-		ck.SetFingerprint(fingerprint)
-		cells, err := ck.Load()
-		if err != nil {
-			return 0, fmt.Errorf("serialize: merge: %w", err)
-		}
-		for k, raw := range cells {
+		_, err = Iter(path, func(k int, raw json.RawMessage) error {
 			if total > 0 && (k < 0 || k >= total) {
-				return 0, fmt.Errorf("serialize: merge: %s holds cell %d outside the sweep's %d cells — wrong sweep parameters?",
+				return fmt.Errorf("serialize: merge: %s holds cell %d outside the sweep's %d cells — wrong sweep parameters?",
 					path, k, total)
 			}
-			if prev, dup := merged[k]; dup {
-				if !bytes.Equal(prev, raw) {
-					return 0, fmt.Errorf("serialize: merge: cell %d differs between %s and %s — shards of different sweeps?",
-						k, owner[k], path)
+			h := sha256.Sum256(raw)
+			if prev, dup := seen[k]; dup {
+				if prev.hash != h {
+					return fmt.Errorf("serialize: merge: cell %d differs between %s and %s — shards of different sweeps?",
+						k, prev.owner, path)
 				}
-				continue
+				return nil
 			}
-			merged[k] = raw
-			owner[k] = path
+			seen[k] = mergeCell{hash: h, owner: path}
+			return nil
+		})
+		if err != nil {
+			return 0, err
 		}
 	}
-	if len(merged) == 0 {
+	if len(seen) == 0 {
 		return 0, fmt.Errorf("serialize: merge: shard stores hold no cells")
 	}
-	if total > 0 && len(merged) < total {
+	if total > 0 && len(seen) < total {
 		// Collect only the indices that will be printed: a near-empty
 		// shard of a 100k-cell sweep is missing almost everything, and
 		// materializing (or rendering) the full index list would turn the
@@ -90,15 +107,71 @@ func MergeCheckpoints(outPath, fingerprint string, total int, shardPaths []strin
 		const maxMissingListed = 20
 		missing := make([]int, 0, maxMissingListed)
 		for k := 0; k < total && len(missing) < maxMissingListed; k++ {
-			if _, ok := merged[k]; !ok {
+			if _, ok := seen[k]; !ok {
 				missing = append(missing, k)
 			}
 		}
-		count := total - len(merged)
+		count := total - len(seen)
 		return 0, fmt.Errorf("serialize: merge: %d of %d cells missing (indices %s) — re-run the shards owning them",
 			count, total, formatIndices(missing, count))
 	}
 
+	if strings.HasSuffix(outPath, streamSuffix) {
+		return len(seen), mergeStreamOut(outPath, fingerprint, seen, shardPaths)
+	}
+	return len(seen), mergeJSONOut(outPath, fingerprint, seen, shardPaths)
+}
+
+// mergeStreamOut writes the merged store in stream format: shards are
+// re-streamed in order and each index's first-seen cell (its recorded
+// owner) is appended, so no more than one cell payload is resident at
+// a time. Output bytes are deterministic for a fixed shard list.
+func mergeStreamOut(outPath, fingerprint string, seen map[int]mergeCell, shardPaths []string) error {
+	// Write to a temp path and rename, matching the atomicity of every
+	// other store write.
+	tmp := outPath + ".merge.tmp"
+	os.Remove(tmp)
+	w, err := NewStoreWriter(tmp, fingerprint)
+	if err != nil {
+		return err
+	}
+	for _, path := range shardPaths {
+		_, err := Iter(path, func(k int, raw json.RawMessage) error {
+			if seen[k].owner != path {
+				return nil // a later duplicate; the owner already wrote it
+			}
+			return w.Append(k, raw)
+		})
+		if err != nil {
+			w.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, outPath)
+}
+
+// mergeJSONOut writes the merged store as the legacy JSON object —
+// byte-identical to the pre-streaming merge, which the coordinator's
+// byte-equality harnesses compare against. The format stores one object,
+// so this path necessarily materializes the merged cells.
+func mergeJSONOut(outPath, fingerprint string, seen map[int]mergeCell, shardPaths []string) error {
+	merged := make(map[int]json.RawMessage, len(seen))
+	for _, path := range shardPaths {
+		_, err := Iter(path, func(k int, raw json.RawMessage) error {
+			if seen[k].owner == path {
+				merged[k] = append(json.RawMessage(nil), raw...)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
 	out := NewCheckpoint(outPath)
 	out.SetFingerprint(fingerprint)
 	out.SetFlushEvery(len(merged) + 1) // one atomic write below, not one per cell
@@ -109,13 +182,10 @@ func MergeCheckpoints(outPath, fingerprint string, total int, shardPaths []strin
 	sort.Ints(keys)
 	for _, k := range keys {
 		if err := out.Store(k, merged[k]); err != nil {
-			return 0, err
+			return err
 		}
 	}
-	if err := out.Flush(); err != nil {
-		return 0, err
-	}
-	return len(merged), nil
+	return out.Flush()
 }
 
 // formatIndices renders the listed indices, noting how many of the

@@ -1,0 +1,299 @@
+package serialize
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func iterAll(t *testing.T, path string) (string, map[int]string, []int) {
+	t.Helper()
+	cells := map[int]string{}
+	var order []int
+	fp, err := Iter(path, func(k int, raw json.RawMessage) error {
+		cells[k] = string(raw)
+		order = append(order, k)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp, cells, order
+}
+
+func TestStoreWriterRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.gz")
+	const fp = "sweep seed=7"
+	w, err := NewStoreWriter(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		if err := w.Append(k, json.RawMessage(fmt.Sprintf(`{"v":%d}`, k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil { // first member boundary
+		t.Fatal(err)
+	}
+	if err := w.Append(3, json.RawMessage(`{"v":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	gotFP, cells, order := iterAll(t, path)
+	if gotFP != fp {
+		t.Fatalf("fingerprint %q, want %q", gotFP, fp)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %v", cells)
+	}
+	for k := 0; k < 4; k++ {
+		if cells[k] != fmt.Sprintf(`{"v":%d}`, k) {
+			t.Fatalf("cell %d = %s", k, cells[k])
+		}
+		if order[k] != k {
+			t.Fatalf("iteration order %v, want append order", order)
+		}
+	}
+}
+
+func TestStoreWriterAppendsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.gz")
+	const fp = "sweep seed=9"
+	w, err := NewStoreWriter(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(0, json.RawMessage(`"a"`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen and append more — the existing members must survive.
+	w, err = NewStoreWriter(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(1, json.RawMessage(`"b"`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, cells, _ := iterAll(t, path)
+	if len(cells) != 2 || cells[0] != `"a"` || cells[1] != `"b"` {
+		t.Fatalf("cells after reopen = %v", cells)
+	}
+	// A different sweep's fingerprint is refused on reopen.
+	if _, err := NewStoreWriter(path, "sweep seed=10"); err == nil || !strings.Contains(err.Error(), "different sweep") {
+		t.Fatalf("fingerprint mismatch on reopen: %v", err)
+	}
+}
+
+func TestStoreWriterRefusesJSONStore(t *testing.T) {
+	dir := t.TempDir()
+	path := writeShard(t, dir, "legacy.json", "fp", map[int]string{0: `1`})
+	if _, err := NewStoreWriter(path, "fp"); err == nil || !strings.Contains(err.Error(), "legacy JSON store") {
+		t.Fatalf("want legacy-store refusal, got %v", err)
+	}
+}
+
+func TestStoreWriterFlushedPrefixSurvivesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.gz")
+	const fp = "sweep torn"
+	w, err := NewStoreWriter(path, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		if err := w.Append(k, json.RawMessage(`0`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A flushed store read back intact: fine.
+	if _, cells, _ := iterAll(t, path); len(cells) != 3 {
+		t.Fatalf("cells = %v", cells)
+	}
+	// Tear the final member mid-way: the store must fail loudly with the
+	// corrupt-store diagnostic, not return silently partial data.
+	if err := os.WriteFile(path, whole[:len(whole)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Iter(path, func(int, json.RawMessage) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "corrupt or truncated") {
+		t.Fatalf("torn tail error = %v", err)
+	}
+}
+
+func TestIterReadsLegacyJSONStore(t *testing.T) {
+	dir := t.TempDir()
+	path := writeShard(t, dir, "legacy.json", "fp legacy", map[int]string{2: `20`, 0: `0`, 1: `10`})
+	fp, cells, order := iterAll(t, path)
+	if fp != "fp legacy" {
+		t.Fatalf("fingerprint %q", fp)
+	}
+	if len(cells) != 3 || cells[2] != `20` {
+		t.Fatalf("cells = %v", cells)
+	}
+	for i, k := range order {
+		if i != k {
+			t.Fatalf("legacy iteration order %v, want ascending", order)
+		}
+	}
+}
+
+func TestCheckpointStreamFormatRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json.gz")
+	const fp = "sweep gz"
+	ck := NewCheckpoint(path)
+	ck.SetFingerprint(fp)
+	if _, err := ck.Load(); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 5; k++ {
+		if err := ck.Store(k, json.RawMessage(fmt.Sprintf(`%d`, k*k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ck.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isGzip(data) {
+		t.Fatal("a .gz checkpoint path wrote a non-gzip store")
+	}
+	if got, err := PeekFingerprint(path); err != nil || got != fp {
+		t.Fatalf("PeekFingerprint = %q, %v", got, err)
+	}
+	// Fresh Checkpoint loads it back.
+	ck2 := NewCheckpoint(path)
+	ck2.SetFingerprint(fp)
+	cells, err := ck2.Load()
+	if err != nil || len(cells) != 5 {
+		t.Fatalf("reload: %v, %v", cells, err)
+	}
+	for k := 0; k < 5; k++ {
+		if string(cells[k]) != fmt.Sprintf(`%d`, k*k) {
+			t.Fatalf("cell %d = %s", k, cells[k])
+		}
+	}
+	// Wrong fingerprint refused, same contract as the JSON format.
+	ck3 := NewCheckpoint(path)
+	ck3.SetFingerprint("other sweep")
+	if _, err := ck3.Load(); err == nil || !strings.Contains(err.Error(), "different sweep") {
+		t.Fatalf("fingerprint mismatch: %v", err)
+	}
+}
+
+func TestCheckpointStreamWritesDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string) []byte {
+		path := filepath.Join(dir, name)
+		ck := NewCheckpoint(path)
+		ck.SetFingerprint("fp det")
+		ck.SetFlushEvery(100)
+		for k := 9; k >= 0; k-- { // insertion order must not leak
+			if err := ck.Store(k, json.RawMessage(fmt.Sprintf(`[%d]`, k))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := ck.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a := write("a.gz")
+	b := write("b.gz")
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical .gz stores wrote different bytes")
+	}
+}
+
+func TestMergeCheckpointsMixedFormats(t *testing.T) {
+	dir := t.TempDir()
+	const fp = "sweep mixed"
+	// Shard 0 legacy JSON, shard 1 stream format.
+	jsonShard := writeShard(t, dir, "s0.json", fp, map[int]string{0: `10`, 2: `12`})
+	gzShard := filepath.Join(dir, "s1.gz")
+	w, err := NewStoreWriter(gzShard, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kv := range [][2]int{{1, 11}, {3, 13}, {2, 12}} { // 2 duplicates s0, identical
+		if err := w.Append(kv[0], json.RawMessage(fmt.Sprintf(`%d`, kv[1]))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, out := range []string{"merged.json", "merged.json.gz"} {
+		outPath := filepath.Join(dir, out)
+		n, err := MergeCheckpoints(outPath, fp, 4, []string{jsonShard, gzShard})
+		if err != nil || n != 4 {
+			t.Fatalf("merge to %s: %d, %v", out, n, err)
+		}
+		_, cells, _ := iterAll(t, outPath)
+		if len(cells) != 4 {
+			t.Fatalf("%s cells = %v", out, cells)
+		}
+		for k := 0; k < 4; k++ {
+			if cells[k] != fmt.Sprintf("1%d", k) {
+				t.Fatalf("%s cell %d = %s", out, k, cells[k])
+			}
+		}
+	}
+
+	// A disagreeing duplicate across formats is still fatal.
+	badShard := writeShard(t, dir, "bad.json", fp, map[int]string{1: `999`})
+	if _, err := MergeCheckpoints(filepath.Join(dir, "m2.gz"), fp, 4, []string{jsonShard, gzShard, badShard}); err == nil ||
+		!strings.Contains(err.Error(), "differs between") {
+		t.Fatalf("disagreeing duplicate: %v", err)
+	}
+}
+
+func TestMergeStreamOutputDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	const fp = "sweep det-merge"
+	s0 := writeShard(t, dir, "s0.json", fp, map[int]string{0: `0`, 1: `1`})
+	s1 := writeShard(t, dir, "s1.json", fp, map[int]string{2: `2`, 3: `3`})
+	outA := filepath.Join(dir, "a.gz")
+	outB := filepath.Join(dir, "b.gz")
+	if _, err := MergeCheckpoints(outA, fp, 4, []string{s0, s1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeCheckpoints(outB, fp, 4, []string{s0, s1}); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := os.ReadFile(outA)
+	b, _ := os.ReadFile(outB)
+	if !bytes.Equal(a, b) {
+		t.Fatal("re-merging identical shards wrote different bytes")
+	}
+}

@@ -49,6 +49,8 @@ func FuzzParse(f *testing.F) {
 		`{"workflow": {"tasks": [{"name": "a", "parents": ["b", "b"]}, {"name": "b"}]}}`,              // duplicate parent
 		`{"workflow": {"tasks": [{"name": "a", "runtimeInSeconds": 1e308}], "machines": [{"speed": -3}]}}`,
 		`{"workflow": {"tasks": [{"name": "a", "files": [{"name": "f", "link": "input", "sizeInBytes": -5}]}]}}`,
+		"\x1f\x8b",             // bare gzip magic — sniffed, then rejected
+		"\x1f\x8b\x08\x00junk", // gzip header with a torn body
 	} {
 		f.Add([]byte(seed))
 	}

@@ -13,8 +13,11 @@
 package wfc
 
 import (
+	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
+	"io"
 
 	"saga/internal/graph"
 )
@@ -59,8 +62,25 @@ type Instance struct {
 	Workflow      Workflow `json:"workflow"`
 }
 
-// Parse decodes a wfformat document.
+// Parse decodes a wfformat document. Gzip-compressed documents (the
+// form wfcommons distributes its trace archives in, sniffed by the
+// 0x1f 0x8b magic bytes) are decompressed transparently, so every
+// caller of this single reader path accepts .json and .json.gz alike.
 func Parse(data []byte) (*Instance, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("wfc: bad gzip document: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("wfc: bad gzip document: %w", err)
+		}
+		data = raw
+	}
 	var inst Instance
 	if err := json.Unmarshal(data, &inst); err != nil {
 		return nil, fmt.Errorf("wfc: %w", err)

@@ -1,12 +1,15 @@
-package wfc
+package wfc_test
 
 import (
+	"bytes"
+	"compress/gzip"
 	"strings"
 	"testing"
 
 	"saga/internal/datasets"
 	"saga/internal/graph"
 	"saga/internal/rng"
+	"saga/internal/wfc"
 )
 
 const fixture = `{
@@ -35,7 +38,7 @@ const fixture = `{
 }`
 
 func TestParseAndConvert(t *testing.T) {
-	inst, err := Parse([]byte(fixture))
+	inst, err := wfc.Parse([]byte(fixture))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +71,7 @@ func TestParseAndConvert(t *testing.T) {
 }
 
 func TestToNetwork(t *testing.T) {
-	inst, err := Parse([]byte(fixture))
+	inst, err := wfc.Parse([]byte(fixture))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,18 +89,44 @@ func TestToNetwork(t *testing.T) {
 		t.Fatal(err)
 	}
 	// No machines → nil network.
-	empty := &Instance{Workflow: Workflow{Tasks: []Task{{ID: "a"}}}}
+	empty := &wfc.Instance{Workflow: wfc.Workflow{Tasks: []wfc.Task{{ID: "a"}}}}
 	if empty.ToNetwork(1) != nil {
 		t.Fatal("machine-less instance produced a network")
 	}
 }
 
 func TestParseErrors(t *testing.T) {
-	if _, err := Parse([]byte("{")); err == nil {
+	if _, err := wfc.Parse([]byte("{")); err == nil {
 		t.Fatal("garbage accepted")
 	}
-	if _, err := Parse([]byte(`{"workflow": {"tasks": []}}`)); err == nil {
+	if _, err := wfc.Parse([]byte(`{"workflow": {"tasks": []}}`)); err == nil {
 		t.Fatal("empty workflow accepted")
+	}
+}
+
+func TestParseGzipDocument(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(fixture)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := wfc.Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Name != "toy-blast" || len(inst.Workflow.Tasks) != 4 {
+		t.Fatalf("gzip parse: %q with %d tasks", inst.Name, len(inst.Workflow.Tasks))
+	}
+	// Truncated and magic-only inputs fail cleanly, never panic.
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := wfc.Parse(trunc); err == nil {
+		t.Fatal("truncated gzip accepted")
+	}
+	if _, err := wfc.Parse([]byte{0x1f, 0x8b}); err == nil {
+		t.Fatal("bare gzip magic accepted")
 	}
 }
 
@@ -118,7 +147,7 @@ func TestToTaskGraphErrors(t *testing.T) {
 		{"anonymous task", `{"workflow":{"tasks":[{"runtimeInSeconds":1}]}}`},
 	}
 	for _, c := range cases {
-		inst, err := Parse([]byte(c.body))
+		inst, err := wfc.Parse([]byte(c.body))
 		if err != nil {
 			continue // parse-level rejection is fine too
 		}
@@ -137,12 +166,12 @@ func TestRoundTripFromRecipes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		doc := FromTaskGraph(name, g)
+		doc := wfc.FromTaskGraph(name, g)
 		data, err := doc.Marshal()
 		if err != nil {
 			t.Fatal(err)
 		}
-		parsed, err := Parse(data)
+		parsed, err := wfc.Parse(data)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -174,7 +203,7 @@ func TestExportContainsSchemaVersion(t *testing.T) {
 	a := g.AddTask("a", 1)
 	b := g.AddTask("b", 2)
 	g.MustAddDep(a, b, 3)
-	doc := FromTaskGraph("tiny", g)
+	doc := wfc.FromTaskGraph("tiny", g)
 	data, err := doc.Marshal()
 	if err != nil {
 		t.Fatal(err)
@@ -192,12 +221,12 @@ func TestZeroSizeDependencyBecomesControlEdge(t *testing.T) {
 	a := g.AddTask("a", 1)
 	b := g.AddTask("b", 2)
 	g.MustAddDep(a, b, 0) // control dependency, no data
-	doc := FromTaskGraph("ctl", g)
+	doc := wfc.FromTaskGraph("ctl", g)
 	data, err := doc.Marshal()
 	if err != nil {
 		t.Fatal(err)
 	}
-	parsed, err := Parse(data)
+	parsed, err := wfc.Parse(data)
 	if err != nil {
 		t.Fatal(err)
 	}
